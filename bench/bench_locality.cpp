@@ -1,0 +1,71 @@
+// E4 -- locality: the round count of the message-passing realisation is
+// D(R) = 12(R-2)+5, *independent of the network size*, while message and
+// byte volumes grow linearly with n.  Also reports engine C wall time
+// scaling (linear in n at fixed R).
+//
+// Expected shape (paper §1.2): constant rounds per R across n; this is the
+// defining property of a local algorithm.
+#include "core/local_solver.hpp"
+#include "core/view_solver.hpp"
+#include "dist/gather.hpp"
+
+#include "bench_util.hpp"
+
+using namespace locmm;
+
+int main() {
+  {
+    Table table("E4a: engine M rounds/messages vs network size (wheel, R=3)");
+    table.columns({"layers", "agents", "rounds", "messages", "bytes",
+                   "max_msg_bytes"});
+    for (std::int32_t layers : {8, 16, 32, 64}) {
+      const MaxMinInstance inst = layered_instance(
+          {.delta_k = 2, .layers = layers, .width = 1, .twist = 0});
+      const MessageRunResult run = solve_special_message_passing(inst, 3);
+      table.row({Table::cell(layers), Table::cell(inst.num_agents()),
+                 Table::cell(run.stats.rounds),
+                 Table::cell(run.stats.messages),
+                 Table::cell(run.stats.bytes),
+                 Table::cell(run.stats.max_message_bytes)});
+    }
+    table.note("rounds = D(R) = 12(R-2)+5: constant in n (local algorithm)");
+    table.print();
+  }
+  {
+    Table table("E4b: rounds vs R (wheel, 32 layers)");
+    table.columns({"R", "rounds", "D(R)", "max_msg_bytes"});
+    const MaxMinInstance inst = layered_instance(
+        {.delta_k = 2, .layers = 32, .width = 1, .twist = 0});
+    for (std::int32_t R : {2, 3, 4}) {
+      const MessageRunResult run = solve_special_message_passing(inst, R);
+      table.row({Table::cell(R), Table::cell(run.stats.rounds),
+                 Table::cell(view_radius(R)),
+                 Table::cell(run.stats.max_message_bytes)});
+    }
+    table.note("local horizon Theta(R)  [paper §5, §6.3]");
+    table.print();
+  }
+  {
+    Table table("E4c: engine C wall time vs n (grid via pipeline, R=3)");
+    table.columns({"grid", "agents", "special_agents", "ms_total",
+                   "us_per_agent"});
+    for (std::int32_t side : {8, 16, 32, 64}) {
+      const MaxMinInstance inst =
+          grid_instance({.rows = side, .cols = side}, 5);
+      Timer timer;
+      const LocalSolution sol = solve_local(inst, {.R = 3, .threads = 0});
+      const double ms = timer.millis();
+      table.row({Table::cell(std::to_string(side) + "x" +
+                             std::to_string(side)),
+                 Table::cell(inst.num_agents()),
+                 Table::cell(sol.special_stats.agents),
+                 Table::cell(ms, 1),
+                 Table::cell(1000.0 * ms /
+                                 static_cast<double>(inst.num_agents()),
+                             1)});
+    }
+    table.note("us_per_agent roughly constant: linear scaling in n");
+    table.print();
+  }
+  return 0;
+}

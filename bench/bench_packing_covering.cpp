@@ -1,0 +1,113 @@
+// E11 -- the §1 corollary, quantified: mixed packing/covering systems
+// solved through the local max-min reduction.
+//
+// Systems are generated feasible-by-construction (rhs from a hidden ground
+// truth x*) or infeasible-by-construction (covering demands scaled past the
+// packing budget).  The local solver must (a) never violate packing,
+// (b) reach covering factor >= 1/alpha on feasible systems, (c) certify
+// infeasible systems infeasible, and the covering factor should rise toward
+// 1 with R.
+#include "core/packing_covering.hpp"
+
+#include "bench_util.hpp"
+
+using namespace locmm;
+
+namespace {
+
+PackingCoveringProblem random_system(std::int32_t vars, std::int32_t rows,
+                                     double demand_scale, std::uint64_t seed) {
+  Rng rng(seed);
+  // Hidden ground truth.
+  std::vector<double> x_star(static_cast<std::size_t>(vars));
+  for (auto& v : x_star) v = rng.uniform(0.2, 2.0);
+
+  PackingCoveringProblem p;
+  p.num_vars = vars;
+  auto random_row = [&](double rhs_factor) {
+    SparseLpRow row;
+    const auto size = static_cast<std::int32_t>(rng.range(2, 4));
+    std::vector<char> used(static_cast<std::size_t>(vars), 0);
+    for (std::int32_t e = 0; e < size; ++e) {
+      auto col = static_cast<std::int32_t>(
+          rng.below(static_cast<std::uint64_t>(vars)));
+      while (used[static_cast<std::size_t>(col)]) col = (col + 1) % vars;
+      used[static_cast<std::size_t>(col)] = 1;
+      row.entries.emplace_back(col, rng.uniform(0.5, 2.0));
+    }
+    double at_star = 0.0;
+    for (const auto& [col, coeff] : row.entries)
+      at_star += coeff * x_star[static_cast<std::size_t>(col)];
+    row.rhs = at_star * rhs_factor;
+    return row;
+  };
+  for (std::int32_t i = 0; i < rows; ++i) {
+    p.packing.push_back(random_row(rng.uniform(1.0, 1.5)));   // slack >= 0
+    p.covering.push_back(random_row(demand_scale));           // <= 1: feasible
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  {
+    Table table("E11a: feasible systems -- covering factor vs R");
+    table.columns({"vars", "rows", "R", "alpha", "promise", "factor_min",
+                   "factor_mean", "pack_viol_max", "trials"});
+    for (std::int32_t R : {3, 6, 10}) {
+      Accumulator factor;
+      double viol = 0.0, alpha = 0.0;
+      const int kTrials = 12;
+      for (int t = 0; t < kTrials; ++t) {
+        const PackingCoveringProblem p =
+            random_system(24, 16, /*demand_scale=*/0.9, 8000 + t);
+        const PackingCoveringResult res =
+            solve_packing_covering_local(p, {.R = R});
+        LOCMM_CHECK(res.status != PcStatus::kInfeasible);
+        factor.add(res.cover_factor);
+        viol = std::max(viol, packing_violation(p, res.x));
+        alpha = res.alpha;
+      }
+      table.row({Table::cell(24), Table::cell(16), Table::cell(R),
+                 Table::cell(alpha, 3), Table::cell(1.0 / alpha, 3),
+                 Table::cell(factor.min(), 4), Table::cell(factor.mean(), 4),
+                 Table::cell(viol, 12), Table::cell(kTrials)});
+    }
+    table.note("factor_min >= promise = 1/alpha on every row; packing is "
+               "never violated");
+    table.print();
+  }
+  {
+    Table table("E11b: infeasible systems -- certification quality");
+    table.columns({"demand_scale", "exact", "local_R3", "local_R8",
+                   "trials"});
+    for (double scale : {1.2, 1.6, 2.4}) {
+      const int kTrials = 12;
+      int exact_inf = 0, local3_inf = 0, local8_inf = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        PackingCoveringProblem p =
+            random_system(24, 16, /*demand_scale=*/1.0, 9000 + t);
+        // Push covering demands beyond the ground truth to break
+        // feasibility on most draws.
+        for (auto& row : p.covering) row.rhs *= scale;
+        if (solve_packing_covering_exact(p).status == PcStatus::kInfeasible)
+          ++exact_inf;
+        if (solve_packing_covering_local(p, {.R = 3}).status ==
+            PcStatus::kInfeasible)
+          ++local3_inf;
+        if (solve_packing_covering_local(p, {.R = 8}).status ==
+            PcStatus::kInfeasible)
+          ++local8_inf;
+      }
+      table.row({Table::cell(scale, 1), Table::cell(exact_inf),
+                 Table::cell(local3_inf), Table::cell(local8_inf),
+                 Table::cell(kTrials)});
+    }
+    table.note("local infeasibility verdicts are sound certificates "
+               "(omega* <= alpha omega(x) < 1) -- they may lag the exact "
+               "count, never exceed it wrongly; larger R closes the gap");
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E1 -- Theorem 1 end to end: measured approximation ratio of the local
+// algorithm versus the a-priori bound delta_I (1 - 1/delta_K)(1 + 1/(R-1)),
+// on random general max-min LPs, swept over (delta_I, delta_K) and R.
+//
+// Expected shape (paper §6.3): every measured ratio <= bound; the bound
+// decreases towards the threshold delta_I (1 - 1/delta_K) as R grows.
+#include "bench_util.hpp"
+
+using namespace locmm;
+
+int main() {
+  Table table("E1: measured ratio vs R (random general instances)");
+  table.columns({"dI", "dK", "R", "bound", "ratio_mean", "ratio_max",
+                 "guar_ok", "trials"});
+
+  const int kTrials = 8;
+  for (std::int32_t di : {2, 3, 4}) {
+    for (std::int32_t dk : {2, 3, 4}) {
+      for (std::int32_t R : {2, 3, 4, 6, 8}) {
+        Accumulator ratio;
+        bool all_within = true;
+        for (int trial = 0; trial < kTrials; ++trial) {
+          RandomGeneralParams p;
+          p.num_agents = 40;
+          p.delta_i = di;
+          p.delta_k = dk;
+          const MaxMinInstance inst =
+              random_general(p, 1000 * di + 100 * dk + trial);
+          const double omega_star = bench::certified_optimum(inst);
+          const LocalSolution sol = solve_local(inst, {.R = R});
+          LOCMM_CHECK(inst.is_feasible(sol.x, 1e-8));
+          const double r = bench::ratio_of(omega_star, sol.omega);
+          ratio.add(r);
+          if (r > sol.guarantee + 1e-7) all_within = false;
+        }
+        const double bound = theorem1_guarantee(di, dk, R);
+        table.row({Table::cell(di), Table::cell(dk), Table::cell(R),
+                   Table::cell(bound, 4), Table::cell(ratio.mean(), 4),
+                   Table::cell(ratio.max(), 4),
+                   Table::cell(all_within ? "yes" : "NO"),
+                   Table::cell(kTrials)});
+      }
+    }
+  }
+  table.note("bound = delta_I (1 - 1/delta_K)(1 + 1/(R-1))  [paper §6.3]");
+  table.note("guar_ok: every trial's measured ratio within the bound");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// F2 -- the §6 ledger, measured: for wheels with known up/down roles, the
+// shifted solutions y(j) (eq. 19), their average y (eq. 20) and the final
+// output x (eq. 18), against the bounds of Lemmas 9, 10 and 12.
+//
+// Expected shape: every y(j) feasible with its designated silent layers at
+// exactly 0; omega(y) >= (1 - 1/R) min s; x recovers half the role-average
+// loss; utilities ordered omega(y(j)) <= omega(y) <= ... with x trading a
+// factor ~|Vk|/(2(|Vk|-1)) against y per Lemma 12.
+#include <algorithm>
+#include <tuple>
+
+#include "core/local_solver.hpp"
+#include "core/shifting.hpp"
+
+#include "bench_util.hpp"
+
+using namespace locmm;
+
+int main() {
+  Table table("F2: shifting-strategy ledger on layered wheels");
+  table.columns({"dK", "L", "R", "omega*", "min_s", "omega_y_worstshift",
+                 "omega_y_avg", "lemma10_bound", "omega_x", "x_feasible"});
+
+  for (const auto& [dk, L, W] :
+       {std::tuple{2, 8, 2}, std::tuple{3, 6, 2}, std::tuple{4, 8, 1}}) {
+    const MaxMinInstance inst = layered_instance(
+        {.delta_k = dk, .layers = L, .width = W, .twist = 0});
+    const SpecialFormInstance sf(inst);
+    const LayerAssignment layers = wheel_layers(dk, L, W);
+    validate_layers(sf, layers);
+    const double omega_star = bench::certified_optimum(inst);
+
+    for (std::int32_t R : {2, 4}) {
+      if (L % R != 0) continue;  // need 4R | modulus for (19)
+      const SpecialRunResult run = solve_special_centralized(sf, R);
+      const double smin = *std::min_element(run.s.begin(), run.s.end());
+
+      double worst_shift = std::numeric_limits<double>::infinity();
+      for (std::int32_t j = 0; j < R; ++j) {
+        const auto y = shifting_solution(sf, layers, run.g, R, j);
+        LOCMM_CHECK(inst.is_feasible(y, 1e-9));
+        // Utility over the *active* objectives only is >= min s; the global
+        // min is 0 by design (silent layers) -- report the active min.
+        const auto vals = inst.objective_values(y);
+        double active_min = std::numeric_limits<double>::infinity();
+        for (double val : vals)
+          if (val > 1e-9) active_min = std::min(active_min, val);
+        worst_shift = std::min(worst_shift, active_min);
+      }
+
+      const auto y_avg = shifted_average(sf, layers, run.g, R);
+      LOCMM_CHECK(inst.is_feasible(y_avg, 1e-9));
+      const double omega_y = inst.utility(y_avg);
+      const double omega_x = inst.utility(run.x);
+
+      table.row({Table::cell(dk), Table::cell(L), Table::cell(R),
+                 Table::cell(omega_star, 4), Table::cell(smin, 4),
+                 Table::cell(worst_shift, 4), Table::cell(omega_y, 4),
+                 Table::cell((1.0 - 1.0 / R) * smin, 4),
+                 Table::cell(omega_x, 4),
+                 Table::cell(inst.is_feasible(run.x, 1e-9) ? "yes" : "NO")});
+    }
+  }
+  table.note("omega_y_avg >= lemma10_bound = (1-1/R) min_s on every row");
+  table.note("omega_x trades the role ambiguity per Lemma 12: >= "
+             "(1/2)(1-1/R)|Vk|/(|Vk|-1) min_s");
+  table.print();
+  return 0;
+}

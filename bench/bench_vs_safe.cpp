@@ -1,0 +1,77 @@
+// E3 -- local algorithm vs the safe baseline (the best prior local
+// algorithm for general max-min LPs, factor delta_I): measured utilities
+// and ratios on every workload family.
+//
+// Expected shape (paper §1.3): the local algorithm's guarantee
+// delta_I (1 - 1/delta_K) + eps beats the safe algorithm's delta_I; in
+// measurement the local algorithm should win or tie on most families, with
+// the margin growing with delta_K.
+#include "bench_util.hpp"
+
+using namespace locmm;
+
+namespace {
+
+struct Family {
+  std::string name;
+  MaxMinInstance inst;
+};
+
+std::vector<Family> families() {
+  std::vector<Family> out;
+  out.push_back({"random dI=3 dK=3",
+                 random_general({.num_agents = 40, .delta_i = 3,
+                                 .delta_k = 3},
+                                11)});
+  out.push_back({"random dI=4 dK=2",
+                 random_general({.num_agents = 40, .delta_i = 4,
+                                 .delta_k = 2},
+                                12)});
+  out.push_back({"random 0/1 dI=3 dK=3",
+                 random_general({.num_agents = 40, .delta_i = 3,
+                                 .delta_k = 3,
+                                 .unit_coefficients = true},
+                                13)});
+  out.push_back({"cycle n=24", cycle_instance({.num_agents = 24}, 14)});
+  out.push_back({"grid 5x5", grid_instance({.rows = 5, .cols = 5}, 15)});
+  out.push_back(
+      {"sensor 24/8", sensor_instance({.num_sensors = 24, .num_sinks = 8}, 16)});
+  out.push_back({"bandwidth 12/6",
+                 bandwidth_instance({.num_routers = 12, .num_customers = 6},
+                                    17)});
+  out.push_back({"tree n<=30", tree_instance({.max_agents = 30}, 18)});
+  out.push_back({"layered dK=3",
+                 layered_instance({.delta_k = 3, .layers = 6, .width = 3,
+                                   .twist = 1})});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Table table("E3: local algorithm (R=6) vs safe baseline");
+  table.columns({"family", "dI", "dK", "omega*", "omega_local", "omega_safe",
+                 "ratio_local", "ratio_safe", "winner"});
+
+  for (const Family& f : families()) {
+    const InstanceStats s = f.inst.stats();
+    const double omega_star = bench::certified_optimum(f.inst);
+    const LocalSolution local = solve_local(f.inst, {.R = 6});
+    const std::vector<double> safe = solve_safe(f.inst);
+    const double omega_safe = f.inst.utility(safe);
+    const double rl = bench::ratio_of(omega_star, local.omega);
+    const double rs = bench::ratio_of(omega_star, omega_safe);
+    table.row({Table::cell(f.name), Table::cell(s.delta_i),
+               Table::cell(s.delta_k), Table::cell(omega_star, 4),
+               Table::cell(local.omega, 4), Table::cell(omega_safe, 4),
+               Table::cell(rl, 3), Table::cell(rs, 3),
+               Table::cell(rl < rs - 1e-9   ? "local"
+                           : rs < rl - 1e-9 ? "safe"
+                                            : "tie")});
+  }
+  table.note("ratio = omega*/omega(x); lower is better; 1.000 is optimal");
+  table.note("paper §1.3: safe guarantees delta_I; local guarantees "
+             "delta_I (1-1/delta_K)(1+1/(R-1))");
+  table.print();
+  return 0;
+}

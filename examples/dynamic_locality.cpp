@@ -1,0 +1,74 @@
+// dynamic_locality -- why local algorithms make good dynamic/self-healing
+// systems (paper §1.3): after a single capacity change, only the
+// constant-radius neighbourhood of the change recomputes.
+//
+//   ./examples/dynamic_locality [layers]
+//
+// We run the §5 algorithm on a layered wheel, degrade one constraint's
+// capacity (as if a link's quality dropped), re-run, and show which agents
+// changed their output -- everything outside the local horizon D(R) is
+// untouched, so in a real deployment only those nodes would need to react.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/local_solver.hpp"
+#include "core/view_solver.hpp"
+#include "gen/generators.hpp"
+#include "graph/comm_graph.hpp"
+
+using namespace locmm;
+
+int main(int argc, char** argv) {
+  std::int32_t layers = 24;
+  if (argc > 1) layers = std::atoi(argv[1]);
+  const std::int32_t R = 3;
+
+  const MaxMinInstance base = layered_instance(
+      {.delta_k = 2, .layers = layers, .width = 1, .twist = 0});
+  std::printf("wheel: %d layers, %d agents, R=%d (local horizon D=%d)\n\n",
+              layers, base.num_agents(), R, view_radius(R));
+
+  const SpecialRunResult before =
+      solve_special_centralized(SpecialFormInstance(base), R);
+
+  // Degrade constraint 0: its first agent now consumes 2x the capacity.
+  InstanceBuilder b(base.num_agents());
+  for (ConstraintId i = 0; i < base.num_constraints(); ++i) {
+    auto row = base.constraint_row(i);
+    std::vector<Entry> out(row.begin(), row.end());
+    if (i == 0) out[0].coeff *= 2.0;
+    b.add_constraint(std::move(out));
+  }
+  for (ObjectiveId k = 0; k < base.num_objectives(); ++k) {
+    auto row = base.objective_row(k);
+    b.add_objective(std::vector<Entry>(row.begin(), row.end()));
+  }
+  const MaxMinInstance bumped = b.build();
+  const SpecialRunResult after =
+      solve_special_centralized(SpecialFormInstance(bumped), R);
+
+  const CommGraph g(base);
+  const auto dist = g.bfs_distances(g.constraint_node(0), 1 << 20);
+
+  std::printf("agents whose output changed after degrading constraint 0:\n");
+  std::int32_t changed = 0, max_dist = 0;
+  for (AgentId v = 0; v < base.num_agents(); ++v) {
+    const double delta = after.x[v] - before.x[v];
+    if (std::abs(delta) > 1e-12) {
+      ++changed;
+      max_dist = std::max(max_dist, dist[g.agent_node(v)]);
+      if (changed <= 12) {
+        std::printf("  agent %3d (distance %2d): %+.5f -> %+.5f\n", v,
+                    dist[g.agent_node(v)], before.x[v], after.x[v]);
+      }
+    }
+  }
+  if (changed > 12) std::printf("  ... and %d more\n", changed - 12);
+  std::printf("\n%d of %d agents changed; farthest change at distance %d "
+              "<= D+1 = %d.\n",
+              changed, base.num_agents(), max_dist, view_radius(R) + 1);
+  std::printf("grow the wheel (argv[1]) and the changed count stays the "
+              "same: updates cost O(1), independent of n.\n");
+  return 0;
+}

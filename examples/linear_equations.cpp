@@ -1,0 +1,61 @@
+// linear_equations -- approximately solving a nonnegative linear system
+// with a local algorithm (the §1 corollary via mixed packing/covering).
+//
+//   ./examples/linear_equations
+//
+// A load-balancing flavour: stations share overlapping service zones; zone
+// demand must be met exactly by the stations covering it (M x = d with
+// nonnegative M, d).  The local route returns x with M x <= d satisfied
+// exactly and M x >= d / alpha -- each zone served to within the Theorem 1
+// factor -- after constant-radius communication only.
+#include <cstdio>
+
+#include "core/packing_covering.hpp"
+
+using namespace locmm;
+
+int main() {
+  // Six stations on a ring, zones covering triples of neighbours: zone z is
+  // served by stations z-1, z, z+1 with efficiency weights (M x = d).
+  // Demands are generated from a ground-truth staffing plan x*, so the
+  // system is feasible by construction and the exact solver must say so.
+  const std::int32_t n = 6;
+  const double x_star[6] = {1.0, 2.0, 0.5, 1.5, 1.0, 2.0};
+  std::vector<SparseLpRow> equations;
+  for (std::int32_t z = 0; z < 6; ++z) {
+    SparseLpRow row;
+    row.entries = {{(z + n - 1) % n, 0.5}, {z, 1.0}, {(z + 1) % n, 0.5}};
+    row.rhs = 0.0;
+    for (const auto& [col, coeff] : row.entries)
+      row.rhs += coeff * x_star[col];
+    equations.push_back(row);
+  }
+  const PackingCoveringProblem problem = linear_system_problem(n, equations);
+
+  std::printf("system: %d stations, %zu zone equations (M x = d)\n\n", n,
+              equations.size());
+
+  const PackingCoveringResult exact = solve_packing_covering_exact(problem);
+  std::printf("exact (centralized simplex): %s\n", to_string(exact.status));
+  std::printf("  x = [");
+  for (std::int32_t v = 0; v < n; ++v)
+    std::printf("%s%.4f", v ? ", " : "", exact.x[v]);
+  std::printf("]\n  worst zone service: %.4f of demand\n\n",
+              exact.cover_factor);
+
+  for (std::int32_t R : {3, 6, 10}) {
+    const PackingCoveringResult local =
+        solve_packing_covering_local(problem, {.R = R});
+    std::printf("local R=%-2d: %-16s  oversupply=%.2e  "
+                "worst service=%.4f  (promise >= 1/alpha = %.4f)\n",
+                R, to_string(local.status),
+                packing_violation(problem, local.x), local.cover_factor,
+                1.0 / local.alpha);
+  }
+
+  std::printf(
+      "\n'oversupply' stays ~0 (the packing side M x <= d is never\n"
+      "violated); the covering side converges to full demand as the\n"
+      "locality parameter R buys a wider horizon.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// quickstart -- build a max-min LP by hand, solve it locally, compare with
+// the exact optimum.
+//
+//   ./examples/quickstart
+//
+// The instance: three producers (agents) feed two consumers (objectives)
+// under two shared capacity constraints.  We ask for the allocation that
+// maximises the worst-off consumer's intake, computed by the paper's local
+// algorithm, and show how the approximation tightens as the locality
+// parameter R grows.
+#include <cstdio>
+
+#include "core/solver_api.hpp"
+#include "lp/io.hpp"
+#include "lp/maxmin_solver.hpp"
+
+using namespace locmm;
+
+int main() {
+  // maximise min( x0 + x1 , 3 x2 )
+  // subject to  x0 + 2 x1 <= 1
+  //             x1 +   x2 <= 1,   x >= 0.
+  InstanceBuilder builder(3);
+  builder.add_constraint({{0, 1.0}, {1, 2.0}});
+  builder.add_constraint({{1, 1.0}, {2, 1.0}});
+  builder.add_objective({{0, 1.0}, {1, 1.0}});
+  builder.add_objective({{2, 3.0}});
+  const MaxMinInstance inst = builder.build();
+
+  std::printf("instance: %s\n\n", describe(inst).c_str());
+
+  // Ground truth from the bundled simplex (with a duality certificate).
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  std::printf("LP optimum  omega* = %.6f  (certified: %s)\n\n", opt.omega,
+              check_certificate(inst, opt).ok() ? "yes" : "no");
+
+  // The local algorithm at increasing locality.
+  for (std::int32_t R : {2, 3, 5, 8}) {
+    const LocalSolution sol = solve_local(inst, {.R = R});
+    std::printf(
+        "R=%d  omega=%.6f  ratio=%.4f  a-priori bound=%.4f  horizon D=%d\n",
+        R, sol.omega, opt.omega / sol.omega, sol.guarantee, sol.view_radius);
+    std::printf("     x = [");
+    for (std::size_t v = 0; v < sol.x.size(); ++v)
+      std::printf("%s%.4f", v ? ", " : "", sol.x[v]);
+    std::printf("]  feasible=%s\n", inst.is_feasible(sol.x) ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nEvery agent computed its own x_v from a radius-D neighbourhood\n"
+      "only -- the same numbers would come out of a real network (engine M\n"
+      "in the tests runs exactly that message-passing computation).\n");
+  return 0;
+}

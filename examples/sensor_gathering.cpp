@@ -1,0 +1,60 @@
+// sensor_gathering -- balanced data gathering in a wireless sensor field
+// (the paper's second motivating application).
+//
+//   ./examples/sensor_gathering [num_sensors] [num_sinks]
+//
+// Sensors stream data to nearby sinks with distance-dependent energy cost;
+// each sink has a unit energy budget per round.  "Balanced" gathering
+// maximises the minimum data rate over sensors -- a bipartite max-min LP.
+// The local algorithm lets each sensor-sink assignment pick its rate from
+// its constant-radius neighbourhood, so the schedule keeps working as the
+// field scales or sensors move (only nearby rates change; see bench E9).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/solver_api.hpp"
+#include "gen/generators.hpp"
+#include "lp/maxmin_solver.hpp"
+
+using namespace locmm;
+
+int main(int argc, char** argv) {
+  SensorParams params;
+  if (argc > 1) params.num_sensors = std::atoi(argv[1]);
+  if (argc > 2) params.num_sinks = std::atoi(argv[2]);
+  params.max_sensors_per_sink = 4;
+  params.range = 0.4;
+
+  const MaxMinInstance inst = sensor_instance(params, /*seed=*/7);
+  const InstanceStats s = inst.stats();
+  std::printf("field: %d sensors, %d sinks, %d assignments\n",
+              params.num_sensors, params.num_sinks, inst.num_agents());
+  std::printf("busiest sink serves %d sensors (= delta_I after §4.3); "
+              "best-covered sensor reaches %d sinks\n\n",
+              s.delta_i, s.delta_k);
+
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  std::printf("exact balanced rate (centralized LP): %.5f\n", opt.omega);
+
+  for (std::int32_t R : {2, 4, 8}) {
+    const LocalSolution sol = solve_local(inst, {.R = R, .threads = 0});
+    std::printf("local algorithm R=%d: rate %.5f  (ratio %.3f, bound %.3f, "
+                "horizon %d)\n",
+                R, sol.omega, opt.omega / sol.omega, sol.guarantee,
+                sol.view_radius);
+  }
+
+  const LocalSolution sol = solve_local(inst, {.R = 8, .threads = 0});
+  const auto rates = inst.objective_values(sol.x);
+  std::vector<double> sorted(rates);
+  std::sort(sorted.begin(), sorted.end());
+  std::printf("\nsensor rate distribution (local, R=8):\n");
+  std::printf("  min %.5f | p25 %.5f | median %.5f | p75 %.5f | max %.5f\n",
+              sorted.front(), sorted[sorted.size() / 4],
+              sorted[sorted.size() / 2], sorted[3 * sorted.size() / 4],
+              sorted.back());
+  std::printf("\nthe min-rate sensor is what 'balanced' protects: no sensor "
+              "starves even at the field's edge.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "core/alt_tree.hpp"
+
+#include <deque>
+
+#include "lp/maxmin_solver.hpp"
+
+namespace locmm {
+
+AltTree build_alternating_tree(const SpecialFormInstance& sf, AgentId u,
+                               std::int32_t r, std::int64_t max_copies) {
+  LOCMM_CHECK(r >= 0);
+  LOCMM_CHECK(u >= 0 && u < sf.num_agents());
+
+  InstanceBuilder b;
+  std::vector<CopyInfo> copies;
+  auto fresh = [&](AgentId origin, std::int32_t d, bool plus) {
+    const AgentId c = b.add_agent();
+    copies.push_back({origin, d, plus});
+    LOCMM_CHECK_MSG(static_cast<std::int64_t>(copies.size()) <= max_copies,
+                    "alternating tree exceeds " << max_copies << " copies");
+    return c;
+  };
+
+  // Root u: minus position at depth r (condition (9) lives here).
+  const AgentId root = fresh(u, r, /*plus=*/false);
+  // Level -2 leaf constraints: restriction drops the partner.
+  for (const ConstraintArc& arc : sf.arcs(u)) {
+    b.add_constraint({{root, arc.a_self}});
+  }
+
+  // BFS through the alternating structure.  Queue items are *agent copies*
+  // that still need their "down-side" expanded.
+  struct Item {
+    AgentId copy;
+    AgentId origin;
+    std::int32_t d;
+    bool plus;          // plus: expand constraints; minus: expand objective
+    std::int32_t level; // agent level in A_u (root: -1)
+  };
+  std::deque<Item> queue{{root, u, r, false, -1}};
+
+  while (!queue.empty()) {
+    const Item it = queue.front();
+    queue.pop_front();
+
+    if (!it.plus) {
+      // Minus agent: expand its objective (level +1), whose other members
+      // are plus agents at the same depth index d.
+      std::vector<Entry> row{{it.copy, 1.0}};
+      for (AgentId w : sf.siblings(it.origin)) {
+        const AgentId wc = fresh(w, it.d, /*plus=*/true);
+        row.push_back({wc, 1.0});
+        queue.push_back({wc, w, it.d, true, it.level + 2});
+      }
+      b.add_objective(std::move(row));
+    } else {
+      // Plus agent at level L: expand all constraints (level L+1).  At the
+      // boundary level 4r+2 they are leaves (degree-1 rows); otherwise the
+      // partner is a minus agent at depth d-1.
+      const std::int32_t clevel = it.level + 1;
+      for (const ConstraintArc& arc : sf.arcs(it.origin)) {
+        if (clevel >= 4 * r + 2) {
+          b.add_constraint({{it.copy, arc.a_self}});
+        } else {
+          const AgentId pc = fresh(arc.partner, it.d - 1, /*plus=*/false);
+          b.add_constraint({{it.copy, arc.a_self}, {pc, arc.a_partner}});
+          queue.push_back({pc, arc.partner, it.d - 1, false, clevel + 1});
+        }
+      }
+    }
+  }
+
+  AltTree out;
+  out.instance = b.build();
+  out.root = root;
+  out.copies = std::move(copies);
+  return out;
+}
+
+double t_exact_lp(const SpecialFormInstance& sf, AgentId u, std::int32_t r) {
+  const AltTree tree = build_alternating_tree(sf, u, r);
+  const MaxMinLpResult res = solve_lp_optimum(tree.instance);
+  LOCMM_CHECK_MSG(res.status == LpStatus::kOptimal,
+                  "A_u LP not optimal: " << to_string(res.status));
+  return res.omega;
+}
+
+}  // namespace locmm

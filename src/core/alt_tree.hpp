@@ -1,0 +1,47 @@
+// alt_tree.hpp -- explicit alternating trees A_u (paper §5.1) and the exact
+// LP route to t_u (paper §5.2: "we assume here that the node u uses an LP
+// solver to find the optimum of the LP associated with A_u").
+//
+// build_alternating_tree materialises A_u as a standalone MaxMinInstance:
+// one agent per *copy* (walks can revisit G-agents through different paths,
+// each copy is a separate variable, exactly as in the unfolding), degree-2
+// constraint rows inside the tree, degree-1 rows at the leaf constraints
+// (levels -2 and 4r+2: the restriction drops the absent partner, which is
+// the relaxation Lemma 2 speaks of), and complete unit-coefficient
+// objective rows (Lemma 1's completeness clause).
+//
+// t_exact_lp solves that instance with the bundled simplex; the tests
+// demand agreement with the production bisection (compute_t_single) and
+// verify Lemma 3's extreme-point bounds on every optimal solution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/special_form.hpp"
+#include "core/upper_bound.hpp"
+
+namespace locmm {
+
+// Which (origin, depth, role) of the f recursion each agent-copy realises.
+struct CopyInfo {
+  AgentId origin = -1;
+  std::int32_t d = 0;   // depth index of (5)-(7); root carries d = r
+  bool plus = false;    // true: f+ position (level 1 mod 4); false: f-
+};
+
+struct AltTree {
+  MaxMinInstance instance;      // the max-min LP associated with A_u
+  AgentId root = 0;             // the copy of u
+  std::vector<CopyInfo> copies; // per agent-copy of `instance`
+};
+
+// Materialises A_u.  `max_copies` guards the exponential growth.
+AltTree build_alternating_tree(const SpecialFormInstance& sf, AgentId u,
+                               std::int32_t r,
+                               std::int64_t max_copies = 2'000'000);
+
+// t_u as the exact optimum of the A_u LP (Lemma 3), via simplex.
+double t_exact_lp(const SpecialFormInstance& sf, AgentId u, std::int32_t r);
+
+}  // namespace locmm

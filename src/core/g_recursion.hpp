@@ -1,0 +1,36 @@
+// g_recursion.hpp -- the g-tables (12)-(14) and the output rule (18).
+//
+//   g+_{v,0} = min_{i in Iv} 1/a_iv                                     (12)
+//   g-_{v,d} = max{0, s_v - sum_{w in N(v)} g+_{w,d}}                   (13)
+//   g+_{v,d} = min_{i in Iv} (1 - a_{i,n(v,i)} g-_{n(v,i),d-1}) / a_iv  (14)
+//
+//   x_v = (1/2R) sum_{d=0..r} (g+_{v,d} + g-_{v,d})                     (18)
+//
+// The g values are the f values of §5.1 evaluated at the *smoothed* bounds
+// s_v instead of a common omega (Example 2 of the paper); they are
+// position-independent, so a single sweep over the finite graph per depth d
+// computes them for all agents -- this is the whole of engine C's per-round
+// work after t and s are known.  Evaluation order: g+_d then g-_d for
+// d = 0..r, since (13) reads g+ at the same depth and (14) reads g- one
+// depth lower.
+#pragma once
+
+#include <vector>
+
+#include "core/special_form.hpp"
+
+namespace locmm {
+
+struct GTables {
+  // plus[d][v] = g+_{v,d}; minus[d][v] = g-_{v,d}; d in [0, r].
+  std::vector<std::vector<double>> plus;
+  std::vector<std::vector<double>> minus;
+};
+
+GTables compute_g(const SpecialFormInstance& sf, const std::vector<double>& s,
+                  std::int32_t r);
+
+// The output (18); R = r + 2.
+std::vector<double> output_x(const GTables& g, std::int32_t r);
+
+}  // namespace locmm

@@ -1,0 +1,22 @@
+#include "core/local_solver.hpp"
+
+#include "core/smoothing.hpp"
+
+namespace locmm {
+
+SpecialRunResult solve_special_centralized(const SpecialFormInstance& sf,
+                                           std::int32_t R,
+                                           const TSearchOptions& opt,
+                                           std::size_t threads) {
+  LOCMM_CHECK_MSG(R >= 2, "the shifting parameter requires R >= 2");
+  SpecialRunResult run;
+  run.R = R;
+  run.r = R - 2;
+  run.t = compute_t_all(sf, run.r, opt, threads);
+  run.s = smooth_min(sf, run.t, run.r);
+  run.g = compute_g(sf, run.s, run.r);
+  run.x = output_x(run.g, run.r);
+  return run;
+}
+
+}  // namespace locmm

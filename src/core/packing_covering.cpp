@@ -1,0 +1,234 @@
+#include "core/packing_covering.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "lp/maxmin_solver.hpp"
+
+namespace locmm {
+
+const char* to_string(PcStatus s) {
+  switch (s) {
+    case PcStatus::kFeasible: return "feasible";
+    case PcStatus::kRelaxedFeasible: return "relaxed-feasible";
+    case PcStatus::kInfeasible: return "infeasible";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct Reduction {
+  MaxMinInstance instance;            // empty if decided during preprocessing
+  std::vector<std::int32_t> agent_of; // var -> agent id, or -1 (forced zero)
+  bool decided = false;               // preprocessing already settled it
+  PcStatus decided_status = PcStatus::kInfeasible;
+};
+
+Reduction reduce(const PackingCoveringProblem& problem) {
+  Reduction red;
+  const auto n = static_cast<std::size_t>(problem.num_vars);
+  for (const SparseLpRow& row : problem.packing) {
+    LOCMM_CHECK_MSG(row.rhs >= 0.0, "packing rhs must be nonnegative");
+    for (const auto& [col, coeff] : row.entries) {
+      LOCMM_CHECK(col >= 0 && col < problem.num_vars);
+      LOCMM_CHECK_MSG(coeff >= 0.0, "packing coefficients must be >= 0");
+    }
+  }
+  for (const SparseLpRow& row : problem.covering) {
+    LOCMM_CHECK_MSG(row.rhs >= 0.0, "covering rhs must be nonnegative");
+    for (const auto& [col, coeff] : row.entries) {
+      LOCMM_CHECK(col >= 0 && col < problem.num_vars);
+      LOCMM_CHECK_MSG(coeff >= 0.0, "covering coefficients must be >= 0");
+    }
+  }
+
+  // b_i = 0 forces every variable with a positive coefficient to zero.
+  std::vector<char> forced_zero(n, 0);
+  for (const SparseLpRow& row : problem.packing) {
+    if (row.rhs > 0.0) continue;
+    for (const auto& [col, coeff] : row.entries) {
+      if (coeff > 0.0) forced_zero[static_cast<std::size_t>(col)] = 1;
+    }
+  }
+  // Variables in no covering row are non-contributing: zero them too.
+  std::vector<char> covers(n, 0);
+  for (const SparseLpRow& row : problem.covering) {
+    for (const auto& [col, coeff] : row.entries) {
+      if (coeff > 0.0) covers[static_cast<std::size_t>(col)] = 1;
+    }
+  }
+
+  // A covering row with rhs > 0 whose surviving support is empty is
+  // unsatisfiable outright.
+  for (const SparseLpRow& row : problem.covering) {
+    if (row.rhs <= 0.0) continue;
+    bool alive = false;
+    for (const auto& [col, coeff] : row.entries) {
+      if (coeff > 0.0 && !forced_zero[static_cast<std::size_t>(col)])
+        alive = true;
+    }
+    if (!alive) {
+      red.decided = true;
+      red.decided_status = PcStatus::kInfeasible;
+      red.agent_of.assign(n, -1);
+      return red;
+    }
+  }
+
+  // Synthetic capacity for variables without any live packing row: the
+  // largest value that could ever help is saturating each covering row it
+  // serves; cap at the max of rhs_k / c_kv over those rows.
+  std::vector<double> cap(n, 0.0);
+  for (const SparseLpRow& row : problem.covering) {
+    for (const auto& [col, coeff] : row.entries) {
+      if (coeff > 0.0 && row.rhs > 0.0) {
+        cap[static_cast<std::size_t>(col)] =
+            std::max(cap[static_cast<std::size_t>(col)], row.rhs / coeff);
+      }
+    }
+  }
+  std::vector<char> has_packing(n, 0);
+  for (const SparseLpRow& row : problem.packing) {
+    if (row.rhs <= 0.0) continue;
+    for (const auto& [col, coeff] : row.entries) {
+      if (coeff > 0.0) has_packing[static_cast<std::size_t>(col)] = 1;
+    }
+  }
+
+  red.agent_of.assign(n, -1);
+  InstanceBuilder b;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (forced_zero[v] || !covers[v]) continue;
+    red.agent_of[v] = b.add_agent();
+  }
+
+  for (const SparseLpRow& row : problem.packing) {
+    if (row.rhs <= 0.0) continue;
+    std::vector<Entry> out;
+    for (const auto& [col, coeff] : row.entries) {
+      const std::int32_t agent = red.agent_of[static_cast<std::size_t>(col)];
+      if (agent >= 0 && coeff > 0.0) out.push_back({agent, coeff / row.rhs});
+    }
+    if (!out.empty()) b.add_constraint(std::move(out));
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (red.agent_of[v] < 0 || has_packing[v]) continue;
+    // "Unconstrained agents can be set to +inf" (§4 preamble): a synthetic
+    // capacity just high enough to saturate its covering rows.
+    LOCMM_CHECK(cap[v] > 0.0);
+    b.add_constraint({{red.agent_of[v], 1.0 / cap[v]}});
+  }
+  for (const SparseLpRow& row : problem.covering) {
+    if (row.rhs <= 0.0) continue;  // trivially satisfied
+    std::vector<Entry> out;
+    for (const auto& [col, coeff] : row.entries) {
+      const std::int32_t agent = red.agent_of[static_cast<std::size_t>(col)];
+      if (agent >= 0 && coeff > 0.0) out.push_back({agent, coeff / row.rhs});
+    }
+    LOCMM_CHECK(!out.empty());  // dead rows were rejected above
+    b.add_objective(std::move(out));
+  }
+
+  if (b.num_objectives() == 0) {
+    // No covering row with rhs > 0: x = 0 solves everything.
+    red.decided = true;
+    red.decided_status = PcStatus::kFeasible;
+    return red;
+  }
+  red.instance = b.build();
+  return red;
+}
+
+PackingCoveringResult assemble(const PackingCoveringProblem& problem,
+                               const Reduction& red,
+                               std::span<const double> x_agents,
+                               double alpha) {
+  PackingCoveringResult res;
+  res.alpha = alpha;
+  res.x.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+  for (std::size_t v = 0; v < res.x.size(); ++v) {
+    if (red.agent_of[v] >= 0)
+      res.x[v] = x_agents[static_cast<std::size_t>(red.agent_of[v])];
+  }
+  res.cover_factor = covering_factor(problem, res.x);
+  if (res.cover_factor >= 1.0 - kTol) {
+    res.status = PcStatus::kFeasible;
+  } else if (res.cover_factor >= 1.0 / alpha - kTol) {
+    res.status = PcStatus::kRelaxedFeasible;
+  } else {
+    res.status = PcStatus::kInfeasible;
+  }
+  return res;
+}
+
+}  // namespace
+
+PackingCoveringResult solve_packing_covering_local(
+    const PackingCoveringProblem& problem, const LocalParams& params) {
+  const Reduction red = reduce(problem);
+  if (red.decided) {
+    PackingCoveringResult res;
+    res.status = red.decided_status;
+    res.x.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+    res.cover_factor = covering_factor(problem, res.x);
+    return res;
+  }
+  const LocalSolution sol = solve_local(red.instance, params);
+  return assemble(problem, red, sol.x, sol.guarantee);
+}
+
+PackingCoveringResult solve_packing_covering_exact(
+    const PackingCoveringProblem& problem) {
+  const Reduction red = reduce(problem);
+  if (red.decided) {
+    PackingCoveringResult res;
+    res.status = red.decided_status;
+    res.x.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+    res.cover_factor = covering_factor(problem, res.x);
+    return res;
+  }
+  const MaxMinLpResult lp = solve_lp_optimum(red.instance);
+  LOCMM_CHECK(lp.status == LpStatus::kOptimal);
+  return assemble(problem, red, lp.x, /*alpha=*/1.0);
+}
+
+PackingCoveringProblem linear_system_problem(
+    std::int32_t num_vars, const std::vector<SparseLpRow>& equations) {
+  PackingCoveringProblem p;
+  p.num_vars = num_vars;
+  p.packing = equations;
+  p.covering = equations;
+  return p;
+}
+
+double packing_violation(const PackingCoveringProblem& problem,
+                         std::span<const double> x) {
+  LOCMM_CHECK(static_cast<std::int32_t>(x.size()) == problem.num_vars);
+  double worst = 0.0;
+  for (const SparseLpRow& row : problem.packing) {
+    double lhs = 0.0;
+    for (const auto& [col, coeff] : row.entries)
+      lhs += coeff * x[static_cast<std::size_t>(col)];
+    worst = std::max(worst, lhs - row.rhs);
+  }
+  return worst;
+}
+
+double covering_factor(const PackingCoveringProblem& problem,
+                       std::span<const double> x) {
+  LOCMM_CHECK(static_cast<std::int32_t>(x.size()) == problem.num_vars);
+  double factor = std::numeric_limits<double>::infinity();
+  for (const SparseLpRow& row : problem.covering) {
+    if (row.rhs <= 0.0) continue;
+    double lhs = 0.0;
+    for (const auto& [col, coeff] : row.entries)
+      lhs += coeff * x[static_cast<std::size_t>(col)];
+    factor = std::min(factor, lhs / row.rhs);
+  }
+  return factor;
+}
+
+}  // namespace locmm

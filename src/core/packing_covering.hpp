@@ -1,0 +1,73 @@
+// packing_covering.hpp -- mixed packing and covering via max-min LPs.
+//
+// Paper §1: "An algorithm for approximating max-min LPs also enables one to
+// solve approximate mixed packing and covering LPs [Young, FOCS'01]; a
+// particular special case is finding an (approximate) solution to a
+// nonnegative system of linear equations."
+//
+// The reduction: given nonnegative data, seek x >= 0 with
+//     A x <= b   (packing)   and   C x >= c   (covering).
+// Normalise rows by their right-hand sides and maximise the worst covering
+// slack:  max omega  s.t.  (A/b) x <= 1,  (C/c) x >= omega 1.  The system is
+// feasible iff omega* >= 1.  Running the local alpha-approximation yields x
+// with packing satisfied exactly and min_k C_k x / c_k = omega(x):
+//     omega(x) >= 1        -> kFeasible        (x solves the system)
+//     omega(x) >= 1/alpha  -> kRelaxedFeasible (covering met to 1/alpha;
+//                             feasibility itself remains undecided)
+//     omega(x) <  1/alpha  -> kInfeasible      (omega* <= alpha omega(x) < 1
+//                             certifies there is no exact solution)
+//
+// Preprocessing handles the degenerate shapes the §4 preamble talks about:
+// b_i = 0 forces its variables to zero; variables in no covering row are
+// non-contributing and set to zero; variables in no packing row get a
+// synthetic capacity just high enough to saturate every covering row they
+// serve (a finite stand-in for "set to +infinity").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/solver_api.hpp"
+#include "lp/simplex.hpp"
+
+namespace locmm {
+
+struct PackingCoveringProblem {
+  std::int32_t num_vars = 0;
+  std::vector<SparseLpRow> packing;   // sum_j a_ij x_j <= rhs_i, all >= 0
+  std::vector<SparseLpRow> covering;  // sum_j c_kj x_j >= rhs_k, all >= 0
+};
+
+enum class PcStatus { kFeasible, kRelaxedFeasible, kInfeasible };
+
+const char* to_string(PcStatus s);
+
+struct PackingCoveringResult {
+  PcStatus status = PcStatus::kInfeasible;
+  std::vector<double> x;      // packing always satisfied (up to fp tol)
+  double cover_factor = 0.0;  // min_k C_k x / c_k over rows with rhs > 0
+  double alpha = 1.0;         // approximation guarantee that was applied
+};
+
+// Local (Theorem 1) solver; alpha = the a-priori guarantee for the reduced
+// instance's degrees and params.R.
+PackingCoveringResult solve_packing_covering_local(
+    const PackingCoveringProblem& problem, const LocalParams& params = {});
+
+// Exact solver (bundled simplex); alpha = 1.
+PackingCoveringResult solve_packing_covering_exact(
+    const PackingCoveringProblem& problem);
+
+// The nonnegative-linear-system special case: M x ~= d becomes
+// packing M x <= d plus covering M x >= d.
+PackingCoveringProblem linear_system_problem(
+    std::int32_t num_vars, const std::vector<SparseLpRow>& equations);
+
+// Residuals of a candidate solution: max_i (A_i x - b_i) and
+// min_k C_k x / c_k (the numbers behind `status`).
+double packing_violation(const PackingCoveringProblem& problem,
+                         std::span<const double> x);
+double covering_factor(const PackingCoveringProblem& problem,
+                       std::span<const double> x);
+
+}  // namespace locmm

@@ -1,0 +1,25 @@
+#include "core/safe_baseline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace locmm {
+
+std::vector<double> solve_safe(const MaxMinInstance& inst) {
+  const auto n = static_cast<std::size_t>(inst.num_agents());
+  std::vector<double> x(n, 0.0);
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    double val = std::numeric_limits<double>::infinity();
+    for (const Incidence& inc : inst.agent_constraints(v)) {
+      const double deg =
+          static_cast<double>(inst.constraint_row(inc.row).size());
+      val = std::min(val, 1.0 / (deg * inc.coeff));
+    }
+    LOCMM_CHECK_MSG(val < std::numeric_limits<double>::infinity(),
+                    "agent " << v << " is unconstrained");
+    x[static_cast<std::size_t>(v)] = val;
+  }
+  return x;
+}
+
+}  // namespace locmm

@@ -1,0 +1,24 @@
+// safe_baseline.hpp -- the "safe" algorithm (paper §1.3, refs [8, 16]).
+//
+// The strongest previously-known local algorithm for *general* max-min LPs:
+// each agent outputs
+//     x_v = min_{i in Iv} 1 / (|Vi| a_iv)
+// with zero communication rounds beyond learning |Vi| from each adjacent
+// constraint (1 round).  Feasibility: sum_{v in Vi} a_iv x_v <=
+// sum_{v in Vi} 1/|Vi| = 1.  Approximation factor delta_I: any feasible y
+// has y_v <= min_i 1/a_iv <= delta_I x_v, so c_k y <= delta_I c_k x for
+// every objective k, hence omega* <= delta_I omega(x).
+//
+// This is the baseline the paper's Theorem 1 improves on (from delta_I to
+// delta_I (1 - 1/delta_K) + eps); bench E3 measures the gap.
+#pragma once
+
+#include <vector>
+
+#include "lp/instance.hpp"
+
+namespace locmm {
+
+std::vector<double> solve_safe(const MaxMinInstance& inst);
+
+}  // namespace locmm

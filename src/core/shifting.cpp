@@ -1,0 +1,148 @@
+#include "core/shifting.hpp"
+
+namespace locmm {
+
+void validate_layers(const SpecialFormInstance& sf,
+                     const LayerAssignment& layers) {
+  const auto n = static_cast<std::size_t>(sf.num_agents());
+  LOCMM_CHECK(layers.is_up.size() == n && layers.layer.size() == n);
+  LOCMM_CHECK_MSG(layers.modulus > 0 && layers.modulus % 4 == 0,
+                  "layer modulus must be a positive multiple of 4");
+  const std::int32_t m = layers.modulus;
+
+  for (AgentId v = 0; v < sf.num_agents(); ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    const std::int32_t l = layers.layer[sv];
+    LOCMM_CHECK_MSG(l >= 0 && l < m, "agent " << v << " layer out of range");
+    const std::int32_t cls = l % 4;
+    if (layers.is_up[sv]) {
+      LOCMM_CHECK_MSG(cls == 3, "up-agent " << v << " at layer " << l
+                                            << " != 3 (mod 4)  [Lemma 8]");
+    } else {
+      LOCMM_CHECK_MSG(cls == 1, "down-agent " << v << " at layer " << l
+                                              << " != 1 (mod 4)  [Lemma 8]");
+    }
+    // Constraints: partner role opposite; down sits two layers below up.
+    for (const ConstraintArc& arc : sf.arcs(v)) {
+      const auto sp = static_cast<std::size_t>(arc.partner);
+      LOCMM_CHECK_MSG(layers.is_up[sv] != layers.is_up[sp],
+                      "constraint " << arc.id
+                                    << " joins two same-role agents  [§6 (i)]");
+      if (layers.is_up[sv]) {
+        LOCMM_CHECK_MSG(layers.layer[sp] == (l + m - 2) % m,
+                        "constraint " << arc.id << " layer geometry broken");
+      }
+    }
+  }
+  // Objectives: exactly one up-agent; down-agents two layers below... above.
+  const MaxMinInstance& inst = sf.instance();
+  for (ObjectiveId k = 0; k < inst.num_objectives(); ++k) {
+    std::int32_t ups = 0;
+    std::int32_t up_layer = -1;
+    for (const Entry& e : inst.objective_row(k)) {
+      if (layers.is_up[static_cast<std::size_t>(e.agent)]) {
+        ++ups;
+        up_layer = layers.layer[static_cast<std::size_t>(e.agent)];
+      }
+    }
+    LOCMM_CHECK_MSG(ups == 1, "objective " << k << " has " << ups
+                                           << " up-agents != 1  [§6 (ii)]");
+    for (const Entry& e : inst.objective_row(k)) {
+      const auto sv = static_cast<std::size_t>(e.agent);
+      if (layers.is_up[sv]) continue;
+      LOCMM_CHECK_MSG(layers.layer[sv] == (up_layer + 2) % m,
+                      "objective " << k << " layer geometry broken");
+    }
+  }
+}
+
+LayerAssignment wheel_layers(std::int32_t delta_k, std::int32_t L,
+                             std::int32_t W) {
+  LOCMM_CHECK(delta_k >= 2 && L >= 2 && W >= 1);
+  const std::int32_t per_layer = W * delta_k;
+  LayerAssignment out;
+  out.modulus = 4 * L;
+  out.is_up.resize(static_cast<std::size_t>(L * per_layer));
+  out.layer.resize(static_cast<std::size_t>(L * per_layer));
+  for (std::int32_t l = 0; l < L; ++l) {
+    for (std::int32_t idx = 0; idx < per_layer; ++idx) {
+      const auto a = static_cast<std::size_t>(l * per_layer + idx);
+      const bool up = idx < W;
+      out.is_up[a] = up;
+      // Objective layer 4l; up-agent one above, down-agents one below.
+      out.layer[a] = up ? (4 * l + out.modulus - 1) % out.modulus
+                        : (4 * l + 1) % out.modulus;
+    }
+  }
+  return out;
+}
+
+LayerAssignment flip_roles(const LayerAssignment& layers) {
+  // Negating the layer function reverses the up/down orientation while
+  // keeping objectives at 0 and constraints at 2 (mod 4).  The result is a
+  // *valid* assignment only when every objective has exactly one down-agent
+  // (delta_K = 2); validate_layers() enforces that at the point of use.
+  LayerAssignment out;
+  out.modulus = layers.modulus;
+  out.is_up.resize(layers.is_up.size());
+  out.layer.resize(layers.layer.size());
+  for (std::size_t v = 0; v < layers.is_up.size(); ++v) {
+    out.is_up[v] = !layers.is_up[v];
+    out.layer[v] = (layers.modulus - layers.layer[v]) % layers.modulus;
+  }
+  return out;
+}
+
+std::vector<double> shifting_solution(const SpecialFormInstance& sf,
+                                      const LayerAssignment& layers,
+                                      const GTables& g, std::int32_t R,
+                                      std::int32_t j) {
+  LOCMM_CHECK(R >= 2);
+  LOCMM_CHECK(j >= 0 && j < R);
+  LOCMM_CHECK_MSG(layers.modulus % (4 * R) == 0,
+                  "layer modulus " << layers.modulus
+                                   << " is not a multiple of 4R; the (mod 4R)"
+                                      " classes of (19) are ill-defined");
+  const std::int32_t r = R - 2;
+  const auto n = static_cast<std::size_t>(sf.num_agents());
+  std::vector<double> y(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t l = layers.layer[v];
+    std::int32_t d;
+    if (layers.is_up[v]) {
+      // l = 4(Rc + j) + 4d - 1  =>  d = ((l+1)/4 - j) mod R.
+      d = (((l + 1) / 4 - j) % R + R) % R;
+    } else {
+      // l = 4(Rc + j) + 4d + 1  =>  d = ((l-1)/4 - j) mod R.
+      d = (((l - 1) / 4 - j) % R + R) % R;
+    }
+    if (d == R - 1) {
+      y[v] = 0.0;  // the passive layer of shift j
+    } else if (layers.is_up[v]) {
+      y[v] = g.minus[static_cast<std::size_t>(r - d)][v];
+    } else {
+      y[v] = g.plus[static_cast<std::size_t>(r - d)][v];
+    }
+  }
+  return y;
+}
+
+std::vector<double> shifted_average(const SpecialFormInstance& sf,
+                                    const LayerAssignment& layers,
+                                    const GTables& g, std::int32_t R) {
+  LOCMM_CHECK(R >= 2);
+  const std::int32_t r = R - 2;
+  const auto n = static_cast<std::size_t>(sf.num_agents());
+  std::vector<double> y(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    double sum = 0.0;
+    for (std::int32_t d = 0; d <= r; ++d) {
+      sum += layers.is_up[v] ? g.minus[static_cast<std::size_t>(d)][v]
+                             : g.plus[static_cast<std::size_t>(d)][v];
+    }
+    y[v] = sum / static_cast<double>(R);  // (20)
+  }
+  return y;
+}
+
+}  // namespace locmm

@@ -1,0 +1,73 @@
+// shifting.hpp -- the §6 analysis machinery, executable.
+//
+// The proof of Theorem 1 partitions agents into *up* and *down* roles and
+// assigns integer *layers* (Figure 3 weights) so that objectives sit at
+// 0 (mod 4), down-agents at 1, constraints at 2, up-agents at 3 (Lemma 8).
+// For a shift j it defines the solution y(j) (eq. (19)) that silences every
+// R-th layer of objectives and serves the rest at full s_v (Lemma 9), and
+// averages over shifts to get y (eq. (20), Lemma 10); averaging over both
+// role assignments then yields the algorithm's actual output x (Lemma 11's
+// argument).
+//
+// Layers cannot be computed *locally* in a consistent way -- that is
+// precisely why the algorithm hedges over both roles (§2) -- but they can be
+// computed globally on instances whose structure admits them, and that makes
+// the whole §6 ledger machine-checkable: this header provides the role/layer
+// container, a validator for the §6 partition properties, the ground-truth
+// assignment for the layered-wheel family, and eq. (19)/(20) themselves.
+// The shifting_test suite runs Lemmas 9, 10 and 11 as assertions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/g_recursion.hpp"
+#include "core/special_form.hpp"
+
+namespace locmm {
+
+struct LayerAssignment {
+  // Per agent: role and layer; layers are meaningful modulo `modulus`
+  // (cyclic instances close after modulus/4 objective layers; acyclic
+  // instances may use any modulus that is a multiple of 4R).
+  std::vector<bool> is_up;
+  std::vector<std::int32_t> layer;  // in [0, modulus)
+  std::int32_t modulus = 0;
+};
+
+// Checks the §6 partition properties against a special-form instance:
+//   * down-agents at layer 1 (mod 4), up-agents at 3 (mod 4);
+//   * every constraint joins one up-agent and one down-agent, at layers
+//     (c+1, c-1) around a common constraint layer c = 2 (mod 4);
+//   * every objective has exactly one up-agent, at layer k-1, and its
+//     down-agents at k+1, for a common objective layer k = 0 (mod 4).
+// Throws CheckError with a description on the first violation.
+void validate_layers(const SpecialFormInstance& sf,
+                     const LayerAssignment& layers);
+
+// Ground-truth assignment for gen/hard.cpp's layered wheel (delta_k, L, W,
+// twist as passed to layered_instance).  modulus = 4 L.
+LayerAssignment wheel_layers(std::int32_t delta_k, std::int32_t L,
+                             std::int32_t W);
+
+// Flips every role and shifts layers by 2 so the flipped assignment is
+// again valid (up <-> down around each constraint; objectives keep their
+// layer class).  Used to realise "choose the layers so that v is an
+// up-agent" (§6.2) on symmetric instances.
+LayerAssignment flip_roles(const LayerAssignment& layers);
+
+// Eq. (19): the shifted solution y(j) for shift parameter j in [0, R);
+// requires 4R | modulus so the (mod 4R) layer classes are well defined.
+std::vector<double> shifting_solution(const SpecialFormInstance& sf,
+                                      const LayerAssignment& layers,
+                                      const GTables& g, std::int32_t R,
+                                      std::int32_t j);
+
+// Eq. (20): the average over all R shifts -- equivalently the closed form
+// y_v = (1/R) sum_d g-_{v,d} (up) or (1/R) sum_d g+_{v,d} (down).
+std::vector<double> shifted_average(const SpecialFormInstance& sf,
+                                    const LayerAssignment& layers,
+                                    const GTables& g, std::int32_t R);
+
+}  // namespace locmm

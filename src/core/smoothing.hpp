@@ -1,0 +1,25 @@
+// smoothing.hpp -- the smoothed upper bounds s_v of paper §5.3.
+//
+// s_v = min { t_u : u an agent within distance 4r+2 of v in G }.
+//
+// The paper defines the distance in the unfolding G'; endpoints of
+// non-backtracking walks of length <= L from v coincide with the G-ball of
+// radius L (shortest paths never backtrack), so the unfolding ball and the
+// G-ball contain the same set of *agent identities*, and since t is
+// position-independent the two minima agree.  Agents sit at even distances
+// in the bipartite communication graph, hence 4r+2 graph hops = 2r+1 hops in
+// the agent adjacency (shared constraint or shared objective), which we
+// realise as 2r+1 rounds of neighbourhood minima -- exactly the message
+// pattern a distributed implementation would use.
+#pragma once
+
+#include <vector>
+
+#include "core/special_form.hpp"
+
+namespace locmm {
+
+std::vector<double> smooth_min(const SpecialFormInstance& sf,
+                               const std::vector<double>& t, std::int32_t r);
+
+}  // namespace locmm

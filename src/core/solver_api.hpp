@@ -1,0 +1,60 @@
+// solver_api.hpp -- the end-to-end public entry point of locmm.
+//
+// solve_local() realises Theorem 1's algorithm on an arbitrary max-min LP:
+//   1. reduce to special form with the §4 pipeline (factor delta_I / 2),
+//   2. run the §5 local algorithm with shifting parameter R,
+//   3. map the solution back through the pipeline.
+// The a-priori guarantee carried in the result is
+//   ratio <= delta_I (1 - 1/delta_K) (1 + 1/(R-1))
+// (paper §6.3); measured ratios against the LP optimum are typically far
+// better (bench E1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/upper_bound.hpp"
+#include "lp/instance.hpp"
+
+namespace locmm {
+
+enum class LocalEngine {
+  kCentralized,  // engine C: shared DP on G (fast path; default)
+  kLocalViews,   // engine L: per-agent evaluation on explicit local views
+};
+
+struct LocalParams {
+  std::int32_t R = 4;  // shifting parameter; horizon and ratio both grow in R
+  LocalEngine engine = LocalEngine::kCentralized;
+  TSearchOptions t_search = {};
+  std::size_t threads = 1;  // 0 = all hardware threads
+};
+
+struct LocalSolution {
+  // Solution of the *original* instance (feasible by construction).
+  std::vector<double> x;
+  double omega = 0.0;  // utility of x on the original instance
+
+  // Diagnostics.
+  std::vector<double> x_special;    // solution of the special-form instance
+  double omega_special = 0.0;       // its utility there
+  double t_min_special = 0.0;       // min_v t_v: upper bound on the special
+                                    // optimum (Lemmas 2-3)
+  double ratio_factor = 1.0;        // pipeline factor (delta_I / 2)
+  double guarantee = 0.0;           // a-priori ratio bound (see above)
+  InstanceStats special_stats;      // size of the transformed instance
+  std::int32_t view_radius = 0;     // local horizon D(R) of engine L / M
+};
+
+LocalSolution solve_local(const MaxMinInstance& inst,
+                          const LocalParams& params = {});
+
+// The a-priori approximation guarantee of Theorem 1's algorithm for an
+// instance with the given degree bounds and shifting parameter.
+double theorem1_guarantee(std::int32_t delta_i, std::int32_t delta_k,
+                          std::int32_t R);
+
+// The special-form guarantee 2 (1 - 1/delta_k) (1 + 1/(R-1)) of §6.
+double special_form_guarantee(std::int32_t delta_k, std::int32_t R);
+
+}  // namespace locmm

@@ -1,0 +1,69 @@
+#include "core/special_form.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "transform/transform.hpp"
+
+namespace locmm {
+
+SpecialFormInstance::SpecialFormInstance(const MaxMinInstance& instance)
+    : inst_(instance) {
+  const MaxMinInstance& inst = inst_;
+  check_special_form(inst);
+  const auto n = static_cast<std::size_t>(inst.num_agents());
+
+  objective_.resize(n);
+  inv_cap_.resize(n);
+  t_upper_.resize(n);
+  sibling_offsets_.assign(n + 1, 0);
+  arc_offsets_.assign(n + 1, 0);
+
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    const ObjectiveId k = inst.agent_objectives(v)[0].row;
+    objective_[sv] = k;
+    sibling_offsets_[sv + 1] =
+        sibling_offsets_[sv] +
+        static_cast<std::int64_t>(inst.objective_row(k).size()) - 1;
+    arc_offsets_[sv + 1] =
+        arc_offsets_[sv] +
+        static_cast<std::int64_t>(inst.agent_constraints(v).size());
+  }
+  siblings_.resize(static_cast<std::size_t>(sibling_offsets_.back()));
+  arcs_.resize(static_cast<std::size_t>(arc_offsets_.back()));
+
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    // Siblings in the objective row's port order.
+    auto spos = static_cast<std::size_t>(sibling_offsets_[sv]);
+    for (const Entry& e : inst.objective_row(objective_[sv])) {
+      if (e.agent != v) siblings_[spos++] = e.agent;
+    }
+    LOCMM_CHECK(spos == static_cast<std::size_t>(sibling_offsets_[sv + 1]));
+
+    // Constraint arcs in the agent's port order.
+    auto apos = static_cast<std::size_t>(arc_offsets_[sv]);
+    double cap = std::numeric_limits<double>::infinity();
+    for (const Incidence& inc : inst.agent_constraints(v)) {
+      const auto row = inst.constraint_row(inc.row);
+      LOCMM_CHECK(row.size() == 2);
+      const Entry& other = (row[0].agent == v) ? row[1] : row[0];
+      LOCMM_CHECK(other.agent != v);
+      arcs_[apos++] = {inc.row, inc.coeff, other.agent, other.coeff};
+      cap = std::min(cap, 1.0 / inc.coeff);
+    }
+    inv_cap_[sv] = cap;
+  }
+
+  // t-search upper bound: own capacity plus siblings' capacities, in port
+  // order (matches the view-tree evaluation order of engine L).
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    double hi = inv_cap_[sv];
+    for (AgentId w : siblings(v)) hi += inv_cap_[static_cast<std::size_t>(w)];
+    t_upper_[sv] = hi;
+  }
+}
+
+}  // namespace locmm

@@ -1,0 +1,80 @@
+// special_form.hpp -- flattened adaptor for the §5 special form.
+//
+// After the §4 pipeline the instance satisfies |Vi| = 2, |Vk| >= 2,
+// |Kv| = 1, |Iv| >= 1 and c_kv = 1.  The §5 recursions only ever ask three
+// questions of the topology:
+//   * which constraints touch agent v, with which coefficients, and who is
+//     the partner n(v, i) on the other side (paper notation),
+//   * which objective k(v) owns v, and who are the siblings N(v),
+//   * what is min_{i in Iv} 1 / a_iv (the agent's capacity bound).
+// SpecialFormInstance precomputes all three as contiguous arrays in port
+// order, so the hot loops of engine C are cache-friendly index walks.
+//
+// Owns a copy of the underlying MaxMinInstance, so it can outlive (and be
+// safely constructed from) temporaries; instances are CSR arrays, so the
+// copy is a handful of memcpys.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lp/instance.hpp"
+
+namespace locmm {
+
+// One constraint incident to an agent, seen from that agent.
+struct ConstraintArc {
+  ConstraintId id = -1;
+  double a_self = 0.0;     // a_iv for this agent
+  AgentId partner = -1;    // n(v, i): the unique other agent of the row
+  double a_partner = 0.0;  // a_{i, n(v,i)}
+};
+
+class SpecialFormInstance {
+ public:
+  // Checks the special-form contract (throws CheckError otherwise).
+  explicit SpecialFormInstance(const MaxMinInstance& inst);
+
+  const MaxMinInstance& instance() const { return inst_; }
+  std::int32_t num_agents() const { return inst_.num_agents(); }
+
+  ObjectiveId objective(AgentId v) const {
+    return objective_[static_cast<std::size_t>(v)];
+  }
+
+  // N(v) = V_k(v) \ {v}, in the objective row's port order.
+  std::span<const AgentId> siblings(AgentId v) const {
+    return {siblings_.data() + sibling_offsets_[static_cast<std::size_t>(v)],
+            siblings_.data() + sibling_offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  // Incident constraints in the agent's port order.
+  std::span<const ConstraintArc> arcs(AgentId v) const {
+    return {arcs_.data() + arc_offsets_[static_cast<std::size_t>(v)],
+            arcs_.data() + arc_offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  // min_{i in Iv} 1 / a_iv; every feasible x has x_v <= inv_cap(v).
+  double inv_cap(AgentId v) const {
+    return inv_cap_[static_cast<std::size_t>(v)];
+  }
+
+  // Upper bound for the binary search for t_v (see upper_bound.cpp):
+  // sum_{w in V_k(v)} inv_cap(w), evaluated in port order (v's own term
+  // first, then siblings) so that engines C and L agree bitwise.
+  double t_search_upper(AgentId v) const {
+    return t_upper_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  MaxMinInstance inst_;
+  std::vector<ObjectiveId> objective_;
+  std::vector<std::int64_t> sibling_offsets_;
+  std::vector<AgentId> siblings_;
+  std::vector<std::int64_t> arc_offsets_;
+  std::vector<ConstraintArc> arcs_;
+  std::vector<double> inv_cap_;
+  std::vector<double> t_upper_;
+};
+
+}  // namespace locmm

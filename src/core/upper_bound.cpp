@@ -1,0 +1,177 @@
+#include "core/upper_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "support/thread_pool.hpp"
+
+namespace locmm {
+
+namespace {
+
+// Hash key for a cone state: agent, depth index, role.
+std::uint64_t state_key(AgentId v, std::int32_t d, bool plus) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(d)) << 1) |
+         (plus ? 1u : 0u);
+}
+
+}  // namespace
+
+TCone::TCone(const SpecialFormInstance& sf, AgentId u, std::int32_t r)
+    : sf_(sf), u_(u), r_(r) {
+  LOCMM_CHECK(r >= 0);
+  LOCMM_CHECK(u >= 0 && u < sf.num_agents());
+
+  std::unordered_map<std::uint64_t, std::int64_t> index;
+  index.reserve(64);
+
+  auto intern = [&](AgentId v, std::int32_t d, bool plus) -> std::int64_t {
+    const std::uint64_t key = state_key(v, d, plus);
+    auto [it, inserted] = index.try_emplace(
+        key, static_cast<std::int64_t>(states_.size()));
+    if (inserted) states_.push_back({v, d, plus, 0, 0});
+    return it->second;
+  };
+
+  // Root condition (9) lives at state (u, r, -).  BFS discovers states layer
+  // by layer; dependencies always point to later (deeper) states, so reverse
+  // index order is a valid evaluation order.
+  intern(u, r, /*plus=*/false);
+  for (std::size_t head = 0; head < states_.size(); ++head) {
+    // Copy key fields: states_ may grow (and reallocate) below.
+    const AgentId v = states_[head].v;
+    const std::int32_t d = states_[head].d;
+    const bool plus = states_[head].plus;
+
+    const auto deps_begin = static_cast<std::int64_t>(deps_.size());
+    if (plus) {
+      if (d > 0) {
+        // (7): one dependency per incident constraint, in port order.
+        for (const ConstraintArc& arc : sf.arcs(v)) {
+          deps_.push_back(intern(arc.partner, d - 1, /*plus=*/false));
+        }
+      }
+    } else {
+      // (6): one dependency per sibling, in the objective's port order.
+      for (AgentId w : sf.siblings(v)) {
+        deps_.push_back(intern(w, d, /*plus=*/true));
+      }
+    }
+    states_[head].deps_begin = deps_begin;
+    states_[head].deps_end = static_cast<std::int64_t>(deps_.size());
+  }
+}
+
+bool TCone::check(double omega, std::vector<double>& scratch) const {
+  scratch.resize(states_.size());
+  bool ok = true;
+  for (std::int64_t idx = static_cast<std::int64_t>(states_.size()) - 1;
+       idx >= 0; --idx) {
+    const State& st = states_[static_cast<std::size_t>(idx)];
+    double val;
+    if (st.plus) {
+      if (st.d == 0) {
+        val = sf_.inv_cap(st.v);  // (5)
+      } else {
+        val = std::numeric_limits<double>::infinity();
+        const auto arcs = sf_.arcs(st.v);
+        for (std::size_t j = 0; j < arcs.size(); ++j) {
+          const ConstraintArc& arc = arcs[j];
+          const double fm =
+              scratch[static_cast<std::size_t>(deps_[st.deps_begin +
+                                                     static_cast<std::int64_t>(j)])];
+          val = std::min(val, (1.0 - arc.a_partner * fm) / arc.a_self);  // (7)
+        }
+      }
+      if (!(val >= 0.0)) ok = false;  // condition (8)
+    } else {
+      double sum = 0.0;
+      for (std::int64_t j = st.deps_begin; j < st.deps_end; ++j) {
+        sum += scratch[static_cast<std::size_t>(deps_[j])];
+      }
+      val = std::max(0.0, omega - sum);  // (6)
+      if (idx == 0 && !(val <= sf_.inv_cap(u_))) ok = false;  // condition (9)
+    }
+    scratch[static_cast<std::size_t>(idx)] = val;
+  }
+  return ok;
+}
+
+// Defined in alt_tree.cpp; declared here to keep upper_bound.hpp free of the
+// AltTree types (callers opt in through TSearchOptions::exact_lp).
+double t_exact_lp(const SpecialFormInstance& sf, AgentId u, std::int32_t r);
+
+double compute_t_single(const SpecialFormInstance& sf, AgentId u,
+                        std::int32_t r, const TSearchOptions& opt) {
+  if (opt.exact_lp) return t_exact_lp(sf, u, r);
+  const TCone cone(sf, u, r);
+  std::vector<double> scratch;
+
+  double lo = 0.0;
+  double hi = sf.t_search_upper(u);
+  LOCMM_CHECK(cone.check(0.0, scratch));  // omega = 0 is always feasible
+  if (cone.check(hi, scratch)) return hi;
+
+  const double eps = opt.tol * std::max(1.0, hi);
+  int iters = 0;
+  while (hi - lo > eps && iters < opt.max_iters) {
+    const double mid = 0.5 * (lo + hi);
+    if (cone.check(mid, scratch)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    ++iters;
+  }
+  // Return the feasible endpoint: all conditions (8)-(9) hold at lo exactly,
+  // so the feasibility half of the analysis is preserved without error.
+  return lo;
+}
+
+std::vector<double> compute_t_all(const SpecialFormInstance& sf,
+                                  std::int32_t r, const TSearchOptions& opt,
+                                  std::size_t threads) {
+  std::vector<double> t(static_cast<std::size_t>(sf.num_agents()), 0.0);
+  parallel_for(t.size(), threads, [&](std::size_t v) {
+    t[v] = compute_t_single(sf, static_cast<AgentId>(v), r, opt);
+  });
+  return t;
+}
+
+FTables evaluate_f_global(const SpecialFormInstance& sf, std::int32_t r,
+                          double omega) {
+  const auto n = static_cast<std::size_t>(sf.num_agents());
+  FTables ft;
+  ft.plus.assign(static_cast<std::size_t>(r) + 1, std::vector<double>(n, 0.0));
+  ft.minus.assign(static_cast<std::size_t>(r) + 1, std::vector<double>(n, 0.0));
+
+  for (std::int32_t d = 0; d <= r; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    if (d == 0) {
+      for (std::size_t v = 0; v < n; ++v)
+        ft.plus[0][v] = sf.inv_cap(static_cast<AgentId>(v));  // (5)
+    } else {
+      for (std::size_t v = 0; v < n; ++v) {
+        double val = std::numeric_limits<double>::infinity();
+        for (const ConstraintArc& arc : sf.arcs(static_cast<AgentId>(v))) {
+          val = std::min(val, (1.0 - arc.a_partner *
+                                         ft.minus[sd - 1][static_cast<std::size_t>(
+                                             arc.partner)]) /
+                                  arc.a_self);  // (7)
+        }
+        ft.plus[sd][v] = val;
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (AgentId w : sf.siblings(static_cast<AgentId>(v)))
+        sum += ft.plus[sd][static_cast<std::size_t>(w)];
+      ft.minus[sd][v] = std::max(0.0, omega - sum);  // (6)
+    }
+  }
+  return ft;
+}
+
+}  // namespace locmm

@@ -1,0 +1,101 @@
+// upper_bound.hpp -- the per-agent upper bounds t_u of paper §5.1-§5.2.
+//
+// t_u is the optimum of the max-min LP restricted to the alternating tree
+// A_u (depth 4r+3 in the unfolding).  The paper characterises it through the
+// recursion (5)-(7):
+//   f+_{v,0}(w)  = min_{i in Iv} 1/a_iv                                  (5)
+//   f-_{v,d}(w)  = max{0, w - sum_{u in N(v)} f+_{u,d}(w)}               (6)
+//   f+_{v,d}(w)  = min_{i in Iv} (1 - a_{i,n(v,i)} f-_{n(v,i),d-1}(w)) / a_iv
+//                                                                        (7)
+// and t_u = max{w >= 0 : all f+ >= 0 in A_u (8) and
+//                        f-_{u,r}(w) <= min_i 1/a_iu (9)}.
+//
+// Key structural facts we exploit (documented in DESIGN.md §3):
+//   * f±_{u,v,d} does not depend on the root u (Example 2 of the paper):
+//     the subtree hanging below an agent copy in the unfolding is determined
+//     by the agent's identity in G, so f± is a function of (v, d) only.
+//     We therefore evaluate the recursion on *states* (v, d, +/-) of the
+//     finite graph G rather than on explicit unfoldings.
+//   * f+ is non-increasing and f- non-decreasing in w, so each condition of
+//     (8)-(9) holds exactly on an interval [0, theta]; t_u is found by
+//     bisection (the paper: "a simple binary search ... is sufficient").
+//     We return the largest *verified-feasible* w, so every downstream
+//     feasibility property (Lemmas 5, 7, 9, 11) holds exactly; only the
+//     approximation guarantee degrades, by at most `tol`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/special_form.hpp"
+
+namespace locmm {
+
+struct TSearchOptions {
+  // Bisection stops when the bracket is below tol * max(1, initial hi).
+  double tol = 1e-12;
+  int max_iters = 200;
+  // Use the exact LP route of §5.2 ("the node u uses an LP solver to find
+  // the optimum of the LP associated with A_u") instead of bisection.
+  // Exact up to simplex arithmetic, but A_u is materialised explicitly
+  // (exponential in r) -- intended for validation and small r.  Note the
+  // bisection returns the largest *verified-feasible* omega, so its
+  // downstream feasibility is exact; the LP route can overshoot by solver
+  // round-off (~1e-9), which propagates into an equally tiny constraint
+  // slack violation.
+  bool exact_lp = false;
+};
+
+// The dependency cone of agent u: all states (v, d, role) reachable from the
+// root condition (u, r, -) through the recursion, deduplicated, in reverse
+// evaluation order.  Reused across the bisection iterations.
+class TCone {
+ public:
+  TCone(const SpecialFormInstance& sf, AgentId u, std::int32_t r);
+
+  // Evaluates the recursion at `omega` and returns whether conditions
+  // (8)-(9) hold.  `values` is scratch storage resized internally.
+  bool check(double omega, std::vector<double>& scratch) const;
+
+  std::int64_t num_states() const {
+    return static_cast<std::int64_t>(states_.size());
+  }
+
+ private:
+  struct State {
+    AgentId v;
+    std::int32_t d;
+    bool plus;
+    std::int64_t deps_begin;  // into deps_: dependency state indices
+    std::int64_t deps_end;
+  };
+
+  const SpecialFormInstance& sf_;
+  AgentId u_;
+  std::int32_t r_;
+  std::vector<State> states_;      // BFS discovery order from the root state
+  std::vector<std::int64_t> deps_;
+};
+
+// t_u for one agent (builds the cone internally).
+double compute_t_single(const SpecialFormInstance& sf, AgentId u,
+                        std::int32_t r, const TSearchOptions& opt = {});
+
+// t for all agents, optionally thread-parallel (threads = 0: all cores).
+std::vector<double> compute_t_all(const SpecialFormInstance& sf,
+                                  std::int32_t r,
+                                  const TSearchOptions& opt = {},
+                                  std::size_t threads = 1);
+
+// Global evaluation of the f-recursion at a fixed omega over every agent of
+// G: tables[d][v].  Exposed for the analysis tests (monotonicity in omega
+// and in d, agreement with the cone evaluation).
+struct FTables {
+  // plus[d][v] = f+_{v,d}(omega); minus[d][v] = f-_{v,d}(omega).
+  std::vector<std::vector<double>> plus;
+  std::vector<std::vector<double>> minus;
+};
+FTables evaluate_f_global(const SpecialFormInstance& sf, std::int32_t r,
+                          double omega);
+
+}  // namespace locmm

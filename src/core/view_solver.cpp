@@ -1,0 +1,275 @@
+#include "core/view_solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "support/thread_pool.hpp"
+
+namespace locmm {
+
+std::int32_t view_radius(std::int32_t R) {
+  LOCMM_CHECK(R >= 2);
+  const std::int32_t r = R - 2;
+  return 12 * r + 5;
+}
+
+namespace {
+
+// Evaluates the §5 algorithm for the root of one local view.  All methods
+// address view-node indices; origins are never read.
+class ViewEvaluator {
+ public:
+  ViewEvaluator(const ViewTree& view, std::int32_t r,
+                const TSearchOptions& opt)
+      : view_(view), r_(r), opt_(opt) {}
+
+  double x_root() {
+    LOCMM_CHECK(view_.node(0).type == NodeType::kAgent);
+    double sum = 0.0;
+    for (std::int32_t d = 0; d <= r_; ++d) {
+      sum += g_plus(0, d) + g_minus(0, d);
+    }
+    return sum / (2.0 * static_cast<double>(r_ + 2));  // (18), R = r + 2
+  }
+
+  double t_root() {
+    LOCMM_CHECK(view_.node(0).type == NodeType::kAgent);
+    return t_at(0);
+  }
+
+ private:
+  // --- view topology helpers -------------------------------------------
+
+  // min_{i in Iv} 1/a_iv from the view; requires all constraint ports of
+  // `a` to be materialised.
+  double inv_cap(std::int32_t a) {
+    require_expanded(a);
+    double cap = std::numeric_limits<double>::infinity();
+    view_.for_each_neighbor(a, [&](std::int32_t, std::int32_t nbr,
+                                   double coeff) {
+      if (view_.node(nbr).type == NodeType::kConstraint)
+        cap = std::min(cap, 1.0 / coeff);
+    });
+    return cap;
+  }
+
+  // The unique objective neighbour of agent `a`.
+  std::int32_t objective_of(std::int32_t a) {
+    require_expanded(a);
+    std::int32_t k = -1;
+    view_.for_each_neighbor(a, [&](std::int32_t, std::int32_t nbr, double) {
+      if (view_.node(nbr).type == NodeType::kObjective) {
+        LOCMM_CHECK_MSG(k < 0, "|Kv| != 1 in view (not special form)");
+        k = nbr;
+      }
+    });
+    LOCMM_CHECK_MSG(k >= 0, "agent without objective in view");
+    return k;
+  }
+
+  // Calls fn(constraint_idx, a_self) per constraint neighbour, port order.
+  template <typename Fn>
+  void for_each_constraint(std::int32_t a, Fn&& fn) {
+    require_expanded(a);
+    view_.for_each_neighbor(a, [&](std::int32_t, std::int32_t nbr,
+                                   double coeff) {
+      if (view_.node(nbr).type == NodeType::kConstraint) fn(nbr, coeff);
+    });
+  }
+
+  // Calls fn(sibling_idx) for the agents of objective `k` other than `a`,
+  // in the objective's port order.
+  template <typename Fn>
+  void for_each_sibling(std::int32_t k, std::int32_t a, Fn&& fn) {
+    require_expanded(k);
+    view_.for_each_neighbor(k, [&](std::int32_t, std::int32_t nbr, double) {
+      LOCMM_CHECK(view_.node(nbr).type == NodeType::kAgent);
+      if (nbr != a) fn(nbr);
+    });
+  }
+
+  // The other agent of constraint `c`, and its coefficient.
+  void partner_of(std::int32_t c, std::int32_t a, std::int32_t& partner,
+                  double& a_partner) {
+    require_expanded(c);
+    partner = -1;
+    view_.for_each_neighbor(c, [&](std::int32_t, std::int32_t nbr,
+                                   double coeff) {
+      if (nbr != a) {
+        LOCMM_CHECK_MSG(partner < 0, "|Vi| != 2 in view (not special form)");
+        partner = nbr;
+        a_partner = coeff;
+      }
+    });
+    LOCMM_CHECK_MSG(partner >= 0, "constraint without partner in view");
+  }
+
+  void require_expanded(std::int32_t idx) {
+    LOCMM_CHECK_MSG(view_.expanded(idx),
+                    "evaluation reached the view frontier (depth "
+                        << view_.node(idx).depth << " of " << view_.depth()
+                        << "); view_radius() is too small");
+  }
+
+  // --- the f recursion and t (paper §5.1-§5.2) --------------------------
+
+  double f_plus(std::int32_t a, std::int32_t d, double omega, bool& ok) {
+    double val;
+    if (d == 0) {
+      val = inv_cap(a);  // (5)
+    } else {
+      val = std::numeric_limits<double>::infinity();
+      for_each_constraint(a, [&](std::int32_t c, double a_self) {
+        std::int32_t p = -1;
+        double a_partner = 0.0;
+        partner_of(c, a, p, a_partner);
+        val = std::min(val,
+                       (1.0 - a_partner * f_minus(p, d - 1, omega, ok)) /
+                           a_self);  // (7)
+      });
+    }
+    if (!(val >= 0.0)) ok = false;  // condition (8)
+    return val;
+  }
+
+  double f_minus(std::int32_t a, std::int32_t d, double omega, bool& ok) {
+    const std::int32_t k = objective_of(a);
+    double sum = 0.0;
+    for_each_sibling(k, a, [&](std::int32_t w) {
+      sum += f_plus(w, d, omega, ok);
+    });
+    return std::max(0.0, omega - sum);  // (6)
+  }
+
+  // t at view-agent `a`: bisection on conditions (8)-(9); returns the
+  // largest verified-feasible omega, exactly as engine C does.
+  double t_at(std::int32_t a) {
+    auto it = t_memo_.find(a);
+    if (it != t_memo_.end()) return it->second;
+
+    const double cap = inv_cap(a);
+    double hi = cap;
+    for_each_sibling(objective_of(a), a,
+                     [&](std::int32_t w) { hi += inv_cap(w); });
+
+    auto check = [&](double omega) {
+      bool ok = true;
+      const double fm = f_minus(a, r_, omega, ok);
+      if (!(fm <= cap)) ok = false;  // condition (9)
+      return ok;
+    };
+
+    double lo = 0.0;
+    LOCMM_CHECK(check(0.0));
+    double t;
+    if (check(hi)) {
+      t = hi;
+    } else {
+      const double eps = opt_.tol * std::max(1.0, hi);
+      int iters = 0;
+      while (hi - lo > eps && iters < opt_.max_iters) {
+        const double mid = 0.5 * (lo + hi);
+        if (check(mid)) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+        ++iters;
+      }
+      t = lo;
+    }
+    t_memo_.emplace(a, t);
+    return t;
+  }
+
+  // --- smoothing (§5.3) --------------------------------------------------
+
+  // s at view-agent `a`: min of t over view agents within tree distance
+  // 4r+2 (= the radius-(4r+2) ball of the unfolding).
+  double s_at(std::int32_t a) {
+    auto it = s_memo_.find(a);
+    if (it != s_memo_.end()) return it->second;
+
+    double s = std::numeric_limits<double>::infinity();
+    // Tree BFS from `a`; (node, parent-of-step) pairs avoid backtracking.
+    std::vector<std::pair<std::int32_t, std::int32_t>> frontier{{a, -1}};
+    std::vector<std::pair<std::int32_t, std::int32_t>> next;
+    for (std::int32_t dist = 0; dist <= 4 * r_ + 2; ++dist) {
+      for (const auto& [node, from] : frontier) {
+        if (view_.node(node).type == NodeType::kAgent)
+          s = std::min(s, t_at(node));
+        if (dist == 4 * r_ + 2) continue;
+        require_expanded(node);
+        view_.for_each_neighbor(node, [&](std::int32_t, std::int32_t nbr,
+                                          double) {
+          if (nbr != from) next.emplace_back(nbr, node);
+        });
+      }
+      frontier.swap(next);
+      next.clear();
+    }
+    s_memo_.emplace(a, s);
+    return s;
+  }
+
+  // --- the g recursion and output (§5.3) ---------------------------------
+
+  double g_plus(std::int32_t a, std::int32_t d) {
+    if (d == 0) return inv_cap(a);  // (12)
+    double val = std::numeric_limits<double>::infinity();
+    for_each_constraint(a, [&](std::int32_t c, double a_self) {
+      std::int32_t p = -1;
+      double a_partner = 0.0;
+      partner_of(c, a, p, a_partner);
+      val = std::min(val, (1.0 - a_partner * g_minus(p, d - 1)) / a_self);
+    });  // (14)
+    return val;
+  }
+
+  double g_minus(std::int32_t a, std::int32_t d) {
+    const std::int32_t k = objective_of(a);
+    double sum = 0.0;
+    for_each_sibling(k, a, [&](std::int32_t w) { sum += g_plus(w, d); });
+    return std::max(0.0, s_at(a) - sum);  // (13)
+  }
+
+  const ViewTree& view_;
+  std::int32_t r_;
+  TSearchOptions opt_;
+  std::unordered_map<std::int32_t, double> t_memo_;
+  std::unordered_map<std::int32_t, double> s_memo_;
+};
+
+}  // namespace
+
+double solve_agent_from_view(const ViewTree& view, std::int32_t R,
+                             const TSearchOptions& opt) {
+  LOCMM_CHECK(R >= 2);
+  ViewEvaluator eval(view, R - 2, opt);
+  return eval.x_root();
+}
+
+double t_root_from_view(const ViewTree& view, std::int32_t r,
+                        const TSearchOptions& opt) {
+  LOCMM_CHECK(r >= 0);
+  ViewEvaluator eval(view, r, opt);
+  return eval.t_root();
+}
+
+std::vector<double> solve_special_local_views(const MaxMinInstance& special,
+                                              std::int32_t R,
+                                              const TSearchOptions& opt,
+                                              std::size_t threads) {
+  const CommGraph g(special);
+  const std::int32_t D = view_radius(R);
+  std::vector<double> x(static_cast<std::size_t>(special.num_agents()), 0.0);
+  parallel_for(x.size(), threads, [&](std::size_t v) {
+    const ViewTree view =
+        ViewTree::build(g, g.agent_node(static_cast<AgentId>(v)), D);
+    x[v] = solve_agent_from_view(view, R, opt);
+  });
+  return x;
+}
+
+}  // namespace locmm

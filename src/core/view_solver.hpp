@@ -1,0 +1,52 @@
+// view_solver.hpp -- engine L: the definitional local algorithm.
+//
+// Every agent builds its radius-D local view (the truncated unfolding of §3)
+// and computes its output x_v from that view *alone*, exactly as a node of
+// the distributed system would after D communication rounds (§4.1: gather
+// the local view, then simulate).  This engine is an independent,
+// tree-recursive implementation of the recursions (5)-(7) and (12)-(14); it
+// never consults the global graph during evaluation, which makes it the
+// faithfulness reference that engine C (local_solver.hpp) and engine M
+// (dist/) are tested against.
+//
+// The view radius is
+//     D(R) = 12 r + 5,   r = R - 2:
+// x_v needs g values at agents up to distance 4r, whose smoothed bounds s
+// read t at distance up to 4r + (4r+2), and each t reads its alternating
+// tree, another 4r+3.  Evaluation CHECK-fails loudly if anything ever reads
+// beyond the materialised view, so an under-sized D cannot silently corrupt
+// results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/upper_bound.hpp"
+#include "graph/view_tree.hpp"
+
+namespace locmm {
+
+// The local horizon of the §5 algorithm as implemented here.
+std::int32_t view_radius(std::int32_t R);
+
+// Computes the output of the agent at the root of `view` (which must be an
+// agent node of a special-form instance's communication graph).
+double solve_agent_from_view(const ViewTree& view, std::int32_t R,
+                             const TSearchOptions& opt = {});
+
+// Computes only the upper bound t_u for the agent at the root of `view`
+// (radius 4r+3 suffices).  Used by the streaming engine (dist/streaming),
+// which floods t/s/g as scalars instead of gathering radius-D views.
+double t_root_from_view(const ViewTree& view, std::int32_t r,
+                        const TSearchOptions& opt = {});
+
+// Runs engine L for every agent of a special-form instance: builds each
+// agent's view and evaluates it.  Exponential in R (views are trees), so
+// intended for validation and small/medium instances; engine C is the fast
+// path.  threads: 1 = serial, 0 = all hardware threads.
+std::vector<double> solve_special_local_views(const MaxMinInstance& special,
+                                              std::int32_t R,
+                                              const TSearchOptions& opt = {},
+                                              std::size_t threads = 1);
+
+}  // namespace locmm

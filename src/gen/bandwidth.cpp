@@ -1,0 +1,124 @@
+// bandwidth.cpp -- max-min fair bandwidth allocation (paper §1 motivation).
+//
+// A router network (ring plus random chords) carries traffic for customers.
+// Each customer k gets a handful of candidate routes between its endpoints;
+// one agent variable per route says how much flow rides it.  Every link is
+// a capacity constraint over the routes crossing it (a_iv = 1 / capacity_i,
+// so the row reads "total flow <= capacity"); every customer is an
+// objective summing its route variables.  Maximising the minimum customer
+// throughput is the max-min LP.  Routes have length > 1, so agents sit in
+// many constraints (|Iv| large), and popular links collect many routes
+// (delta_I large) -- the family stresses §4.3 hardest.
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "gen/generators.hpp"
+
+namespace locmm {
+
+namespace {
+
+// BFS route in the router graph avoiding (where possible) a set of
+// discouraged links; returns node sequence, empty if unreachable.
+std::vector<std::int32_t> bfs_route(
+    const std::vector<std::vector<std::int32_t>>& adj, std::int32_t src,
+    std::int32_t dst, const std::vector<char>& discouraged_node) {
+  std::vector<std::int32_t> parent(adj.size(), -1);
+  std::deque<std::int32_t> queue{src};
+  parent[static_cast<std::size_t>(src)] = src;
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    for (std::int32_t w : adj[static_cast<std::size_t>(u)]) {
+      if (parent[static_cast<std::size_t>(w)] >= 0) continue;
+      if (discouraged_node[static_cast<std::size_t>(w)] && w != dst) continue;
+      parent[static_cast<std::size_t>(w)] = u;
+      queue.push_back(w);
+    }
+  }
+  if (parent[static_cast<std::size_t>(dst)] < 0) return {};
+  std::vector<std::int32_t> path{dst};
+  while (path.back() != src) {
+    path.push_back(parent[static_cast<std::size_t>(path.back())]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+MaxMinInstance bandwidth_instance(const BandwidthParams& p,
+                                  std::uint64_t seed) {
+  LOCMM_CHECK(p.num_routers >= 4);
+  LOCMM_CHECK(p.num_customers >= 1 && p.paths_per_customer >= 1);
+  Rng rng(seed);
+
+  // Router graph: ring + chords.  Links indexed by (min, max) pair.
+  const std::int32_t nr = p.num_routers;
+  std::vector<std::vector<std::int32_t>> adj(static_cast<std::size_t>(nr));
+  std::vector<std::pair<std::int32_t, std::int32_t>> links;
+  std::vector<double> capacity;
+  auto add_link = [&](std::int32_t a, std::int32_t bb) {
+    if (a == bb) return;
+    if (a > bb) std::swap(a, bb);
+    for (const auto& l : links)
+      if (l.first == a && l.second == bb) return;
+    links.emplace_back(a, bb);
+    capacity.push_back(rng.uniform(p.capacity_lo, p.capacity_hi));
+    adj[static_cast<std::size_t>(a)].push_back(bb);
+    adj[static_cast<std::size_t>(bb)].push_back(a);
+  };
+  for (std::int32_t j = 0; j < nr; ++j) add_link(j, (j + 1) % nr);
+  for (std::int32_t c = 0; c < p.num_chords; ++c) {
+    add_link(static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(nr))),
+             static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(nr))));
+  }
+  auto link_index = [&](std::int32_t a, std::int32_t bb) {
+    if (a > bb) std::swap(a, bb);
+    for (std::size_t l = 0; l < links.size(); ++l)
+      if (links[l].first == a && links[l].second == bb)
+        return static_cast<std::int32_t>(l);
+    LOCMM_CHECK_MSG(false, "unknown link");
+    return -1;
+  };
+
+  InstanceBuilder b;
+  std::vector<std::vector<Entry>> link_rows(links.size());
+  std::vector<std::vector<Entry>> customer_rows(
+      static_cast<std::size_t>(p.num_customers));
+
+  for (std::int32_t k = 0; k < p.num_customers; ++k) {
+    const auto src = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(nr)));
+    auto dst = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(nr)));
+    if (dst == src) dst = (src + nr / 2) % nr;
+
+    std::vector<char> discouraged(static_cast<std::size_t>(nr), 0);
+    for (std::int32_t route = 0; route < p.paths_per_customer; ++route) {
+      const auto path = bfs_route(adj, src, dst, discouraged);
+      if (path.empty()) break;  // no further disjoint-ish route
+      const AgentId v = b.add_agent();
+      for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+        const std::int32_t l = link_index(path[j], path[j + 1]);
+        link_rows[static_cast<std::size_t>(l)].push_back(
+            {v, 1.0 / capacity[static_cast<std::size_t>(l)]});
+      }
+      customer_rows[static_cast<std::size_t>(k)].push_back({v, 1.0});
+      // Discourage interior nodes of this route for the next one.
+      for (std::size_t j = 1; j + 1 < path.size(); ++j)
+        discouraged[static_cast<std::size_t>(path[j])] = 1;
+    }
+    LOCMM_CHECK_MSG(!customer_rows[static_cast<std::size_t>(k)].empty(),
+                    "customer " << k << " got no route");
+  }
+
+  for (auto& row : link_rows)
+    if (!row.empty()) b.add_constraint(std::move(row));
+  for (auto& row : customer_rows) b.add_objective(std::move(row));
+  return b.build();
+}
+
+}  // namespace locmm

@@ -1,0 +1,54 @@
+// cycle.cpp -- cycle and path families (delta_I = delta_K = 2).
+//
+// cycle_instance: agents v_0..v_{n-1} around a cycle; constraint i_j and
+// objective k_j both span the consecutive pair {v_j, v_{j+1 mod n}}.  With
+// unit coefficients the optimum is exactly 1 (x = 1/2 everywhere), which the
+// sanity tests pin.  These are the classic locality benchmarks: every local
+// view of a long cycle is identical to a path's.
+//
+// path_instance: the open-chain cousin; interior pairs alternate constraint
+// / objective edges so the communication graph is a tree, and the two
+// endpoint agents get singleton objectives (exercising §4.5).
+#include "gen/generators.hpp"
+
+namespace locmm {
+
+MaxMinInstance cycle_instance(const CycleParams& p, std::uint64_t seed) {
+  LOCMM_CHECK(p.num_agents >= 3);
+  Rng rng(seed);
+  const std::int32_t n = p.num_agents;
+  InstanceBuilder b(n);
+  for (std::int32_t j = 0; j < n; ++j) {
+    const AgentId u = j;
+    const AgentId w = (j + 1) % n;
+    b.add_constraint({{u, rng.uniform(p.coeff_lo, p.coeff_hi)},
+                      {w, rng.uniform(p.coeff_lo, p.coeff_hi)}});
+  }
+  for (std::int32_t j = 0; j < n; ++j) {
+    const AgentId u = j;
+    const AgentId w = (j + 1) % n;
+    const double cu =
+        p.unit_objectives ? 1.0 : rng.uniform(p.coeff_lo, p.coeff_hi);
+    const double cw =
+        p.unit_objectives ? 1.0 : rng.uniform(p.coeff_lo, p.coeff_hi);
+    b.add_objective({{u, cu}, {w, cw}});
+  }
+  return b.build();
+}
+
+MaxMinInstance path_instance(std::int32_t num_agents) {
+  LOCMM_CHECK(num_agents >= 4 && num_agents % 2 == 0);
+  InstanceBuilder b(num_agents);
+  // Constraints on pairs (0,1), (2,3), ...; objectives on (1,2), (3,4), ...
+  for (std::int32_t j = 0; j + 1 < num_agents; j += 2) {
+    b.add_constraint({{j, 1.0}, {j + 1, 1.0}});
+  }
+  for (std::int32_t j = 1; j + 1 < num_agents; j += 2) {
+    b.add_objective({{j, 1.0}, {j + 1, 1.0}});
+  }
+  b.add_objective({{0, 1.0}});                // endpoint singletons (§4.5)
+  b.add_objective({{num_agents - 1, 1.0}});
+  return b.build();
+}
+
+}  // namespace locmm

@@ -1,0 +1,65 @@
+// hard.cpp -- layered "wheel" family: the tightness probe (experiment E5).
+//
+// The paper's matching lower bound [7] is driven by instances whose local
+// views are symmetric between the up-agent and down-agent roles of §6 while
+// the global layer structure forces a low optimum.  We build the Figure-1
+// layer pattern -- objectives, each owning one up-agent (previous layer) and
+// delta_K - 1 down-agents (next layer), constraints pairing each down-agent
+// with an up-agent of the following layer -- and close L layers into a
+// wheel.  The instance is already in §5 special form with unit
+// coefficients.
+//
+// Its optimum is delta_K - 1 (x = 1 on down-agents, 0 on up-agents), while
+// any solution that hedges between the two role assignments -- as every
+// port-numbering local algorithm must when the roles are not locally
+// distinguishable (delta_K = 2: a plain 4L-cycle) -- pays the paper's
+// threshold factor.  The `twist` parameter staggers the inter-layer wiring
+// to push the girth up so that larger local views remain tree-like.
+#include "gen/generators.hpp"
+
+namespace locmm {
+
+MaxMinInstance layered_instance(const LayeredParams& p) {
+  LOCMM_CHECK(p.delta_k >= 2);
+  LOCMM_CHECK(p.layers >= 2);
+  LOCMM_CHECK(p.width >= 1);
+  const std::int32_t dk = p.delta_k;
+  const std::int32_t L = p.layers;
+  const std::int32_t W = p.width;
+
+  // Agent ids: layer l has W up-agents then (dk-1)*W down-agents.
+  const std::int32_t per_layer = W * dk;
+  InstanceBuilder b(L * per_layer);
+  auto up = [&](std::int32_t l, std::int32_t j) -> AgentId {
+    return ((l % L + L) % L) * per_layer + (j % W + W) % W;
+  };
+  auto down = [&](std::int32_t l, std::int32_t j, std::int32_t c) -> AgentId {
+    return ((l % L + L) % L) * per_layer + W + (j % W + W) % W * (dk - 1) + c;
+  };
+
+  // Objectives: one per (layer, j), unit coefficients (special form).
+  for (std::int32_t l = 0; l < L; ++l) {
+    for (std::int32_t j = 0; j < W; ++j) {
+      std::vector<Entry> row{{up(l, j), 1.0}};
+      for (std::int32_t c = 0; c < dk - 1; ++c)
+        row.push_back({down(l, j, c), 1.0});
+      b.add_objective(std::move(row));
+    }
+  }
+
+  // Constraints: down(l, j, c) pairs with an up-agent of layer l+1; the
+  // linear index m = (dk-1) j + c is spread across the W up-agents with a
+  // per-layer twist.
+  for (std::int32_t l = 0; l < L; ++l) {
+    for (std::int32_t j = 0; j < W; ++j) {
+      for (std::int32_t c = 0; c < dk - 1; ++c) {
+        const std::int32_t m = (dk - 1) * j + c;
+        const std::int32_t target = (m + p.twist * l) % W;
+        b.add_constraint({{down(l, j, c), 1.0}, {up(l + 1, target), 1.0}});
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace locmm

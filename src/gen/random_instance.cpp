@@ -1,0 +1,152 @@
+// random_instance.cpp -- random bounded-degree general and special-form
+// max-min LPs.  Construction guarantees the §4 preamble invariants (every
+// row nonempty, every agent in >= 1 constraint and >= 1 objective) and
+// connectivity (a random backbone joins agent j to a random earlier agent).
+#include <algorithm>
+#include <vector>
+
+#include "gen/generators.hpp"
+
+namespace locmm {
+
+namespace {
+
+double draw_coeff(Rng& rng, double lo, double hi, bool unit) {
+  return unit ? 1.0 : rng.uniform(lo, hi);
+}
+
+// Samples `size` distinct agents from [0, n).
+std::vector<AgentId> sample_agents(Rng& rng, std::int32_t n,
+                                   std::int32_t size) {
+  std::vector<AgentId> out;
+  out.reserve(static_cast<std::size_t>(size));
+  while (static_cast<std::int32_t>(out.size()) < size) {
+    const auto v = static_cast<AgentId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+MaxMinInstance random_general(const RandomGeneralParams& p,
+                              std::uint64_t seed) {
+  LOCMM_CHECK(p.num_agents >= 2);
+  LOCMM_CHECK(p.delta_i >= 2 && p.delta_k >= 1);
+  Rng rng(seed);
+  const std::int32_t n = p.num_agents;
+  InstanceBuilder b(n);
+
+  auto coeff = [&] {
+    return draw_coeff(rng, p.coeff_lo, p.coeff_hi, p.unit_coefficients);
+  };
+
+  // Connectivity backbone: agent j shares a constraint with a random
+  // earlier agent.
+  for (AgentId j = 1; j < n; ++j) {
+    const auto prev = static_cast<AgentId>(rng.below(static_cast<std::uint64_t>(j)));
+    b.add_constraint({{prev, coeff()}, {j, coeff()}});
+  }
+
+  // Extra constraints with degrees in [1, delta_i].
+  const auto extra_c =
+      static_cast<std::int64_t>(p.extra_constraints * static_cast<double>(n));
+  for (std::int64_t e = 0; e < extra_c; ++e) {
+    const auto size = static_cast<std::int32_t>(
+        rng.range(1, std::min<std::int64_t>(p.delta_i, n)));
+    std::vector<Entry> row;
+    for (AgentId v : sample_agents(rng, n, size)) row.push_back({v, coeff()});
+    b.add_constraint(std::move(row));
+  }
+
+  // Objective cover: chunk a shuffled agent list into rows of size
+  // in [1, delta_k], so every agent appears in at least one objective.
+  std::vector<AgentId> order(static_cast<std::size_t>(n));
+  for (AgentId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  shuffle(order.begin(), order.end(), rng);
+  for (std::size_t pos = 0; pos < order.size();) {
+    const auto size = static_cast<std::size_t>(
+        rng.range(1, std::min<std::int64_t>(p.delta_k,
+                                            static_cast<std::int64_t>(
+                                                order.size() - pos))));
+    std::vector<Entry> row;
+    for (std::size_t j = 0; j < size; ++j)
+      row.push_back({order[pos + j], coeff()});
+    b.add_objective(std::move(row));
+    pos += size;
+  }
+
+  // Extra objectives.
+  const auto extra_k =
+      static_cast<std::int64_t>(p.extra_objectives * static_cast<double>(n));
+  for (std::int64_t e = 0; e < extra_k; ++e) {
+    const auto size = static_cast<std::int32_t>(
+        rng.range(1, std::min<std::int64_t>(p.delta_k, n)));
+    std::vector<Entry> row;
+    for (AgentId v : sample_agents(rng, n, size)) row.push_back({v, coeff()});
+    b.add_objective(std::move(row));
+  }
+
+  MaxMinInstance inst = b.build();
+  LOCMM_CHECK(inst.connected());
+  return inst;
+}
+
+MaxMinInstance random_special_form(const RandomSpecialParams& p,
+                                   std::uint64_t seed) {
+  LOCMM_CHECK(p.num_agents >= 2);
+  LOCMM_CHECK(p.delta_k >= 2);
+  Rng rng(seed);
+
+  // Objectives first: partition agents into groups of size in [2, delta_k];
+  // group g owns agents [group_start[g], group_start[g+1]).  c = 1.
+  std::vector<std::int32_t> group_start{0};
+  while (group_start.back() < p.num_agents) {
+    const auto size = static_cast<std::int32_t>(rng.range(2, p.delta_k));
+    group_start.push_back(group_start.back() + size);
+  }
+  const std::int32_t n = group_start.back();  // rounded-up agent count
+
+  InstanceBuilder b(n);
+  for (std::size_t g = 0; g + 1 < group_start.size(); ++g) {
+    std::vector<Entry> row;
+    for (std::int32_t v = group_start[g]; v < group_start[g + 1]; ++v)
+      row.push_back({v, 1.0});
+    b.add_objective(std::move(row));
+  }
+
+  auto coeff = [&] {
+    return draw_coeff(rng, p.coeff_lo, p.coeff_hi, p.unit_coefficients);
+  };
+
+  // Constraint backbone across groups for connectivity: group g's first
+  // agent pairs with a random agent of an earlier group.
+  for (std::size_t g = 1; g + 1 < group_start.size(); ++g) {
+    const auto prev = static_cast<AgentId>(
+        rng.below(static_cast<std::uint64_t>(group_start[g])));
+    b.add_constraint({{prev, coeff()}, {group_start[g], coeff()}});
+  }
+
+  // Cover: every agent needs >= 1 constraint.
+  for (AgentId v = 0; v < n; ++v) {
+    auto other = static_cast<AgentId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (other == v) other = (v + 1) % n;
+    b.add_constraint({{v, coeff()}, {other, coeff()}});
+  }
+
+  // Extra random pair constraints.
+  const auto extra =
+      static_cast<std::int64_t>(p.extra_constraints * static_cast<double>(n));
+  for (std::int64_t e = 0; e < extra; ++e) {
+    const auto v = static_cast<AgentId>(rng.below(static_cast<std::uint64_t>(n)));
+    auto w = static_cast<AgentId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (w == v) w = (v + 1) % n;
+    b.add_constraint({{v, coeff()}, {w, coeff()}});
+  }
+
+  MaxMinInstance inst = b.build();
+  LOCMM_CHECK(inst.connected());
+  return inst;
+}
+
+}  // namespace locmm

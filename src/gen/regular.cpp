@@ -1,0 +1,75 @@
+// regular.cpp -- fully regular special-form instances (configuration
+// model).  See generators.hpp for the contract.
+#include <algorithm>
+#include <vector>
+
+#include "gen/generators.hpp"
+
+namespace locmm {
+
+MaxMinInstance regular_special_instance(const RegularSpecialParams& p,
+                                        std::uint64_t seed) {
+  LOCMM_CHECK(p.num_objectives >= 2);
+  LOCMM_CHECK(p.delta_k >= 2);
+  LOCMM_CHECK(p.constraints_per_agent >= 1);
+  const std::int32_t n = p.num_objectives * p.delta_k;
+  LOCMM_CHECK_MSG(
+      static_cast<std::int64_t>(n) * p.constraints_per_agent % 2 == 0,
+      "total constraint stubs must be even; adjust the parameters");
+
+  Rng rng(seed);
+
+  // Objectives: consecutive blocks of delta_k agents, unit coefficients.
+  InstanceBuilder b(n);
+  for (std::int32_t k = 0; k < p.num_objectives; ++k) {
+    std::vector<Entry> row;
+    for (std::int32_t c = 0; c < p.delta_k; ++c)
+      row.push_back({k * p.delta_k + c, 1.0});
+    b.add_objective(std::move(row));
+  }
+
+  // Constraints: pair up stubs uniformly; reject self-pairs and repeated
+  // pairs, retrying the whole pairing a bounded number of times (the usual
+  // configuration-model rejection loop; succeeds fast for these sizes).
+  std::vector<std::pair<AgentId, AgentId>> pairs;
+  for (std::int32_t attempt = 0; attempt < p.max_attempts; ++attempt) {
+    std::vector<AgentId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * p.constraints_per_agent);
+    for (AgentId v = 0; v < n; ++v) {
+      for (std::int32_t c = 0; c < p.constraints_per_agent; ++c)
+        stubs.push_back(v);
+    }
+    shuffle(stubs.begin(), stubs.end(), rng);
+    pairs.clear();
+    bool ok = true;
+    std::vector<std::pair<AgentId, AgentId>> seen;
+    for (std::size_t s = 0; s + 1 < stubs.size(); s += 2) {
+      AgentId a = stubs[s], c = stubs[s + 1];
+      if (a == c) {
+        ok = false;
+        break;
+      }
+      if (a > c) std::swap(a, c);
+      if (std::find(seen.begin(), seen.end(), std::make_pair(a, c)) !=
+          seen.end()) {
+        ok = false;
+        break;
+      }
+      seen.emplace_back(a, c);
+      pairs.emplace_back(a, c);
+    }
+    if (ok) break;
+    pairs.clear();
+  }
+  LOCMM_CHECK_MSG(!pairs.empty(),
+                  "configuration model failed to produce a simple pairing; "
+                  "raise max_attempts or lower constraints_per_agent");
+
+  for (const auto& [a, c] : pairs) {
+    b.add_constraint({{a, rng.uniform(p.coeff_lo, p.coeff_hi)},
+                      {c, rng.uniform(p.coeff_lo, p.coeff_hi)}});
+  }
+  return b.build();
+}
+
+}  // namespace locmm

@@ -1,0 +1,141 @@
+// sensor.cpp -- balanced data gathering in a wireless sensor network
+// (the paper's §1 motivating application; cf. Floréen et al. [8]).
+//
+// Sensors and sinks are placed uniformly in the unit square.  Agent
+// variables x_{sensor,sink} describe how much of a sensor's data each
+// nearby sink collects.  Each sink has unit processing capacity, with
+// per-assignment energy cost a ~ (1 + dist)^e (path-loss model): a capacity
+// *constraint* of degree <= max_sensors_per_sink.  Each sensor wants its
+// data gathered: an *objective* summing its assignment variables.  The task
+// "maximise the minimum gathered amount over sensors" is exactly a max-min
+// LP, and a *bipartite* one (each agent touches one constraint and one
+// objective), so the pipeline's §4.3 degree reduction does the heavy
+// lifting: delta_I = max_sensors_per_sink.
+//
+// Assignment discipline:
+//   1. every sensor is assigned to one sink -- its nearest sink with spare
+//     slots, processed globally in nearest-first order (so the cap binds
+//     strictly whenever num_sensors <= cap * num_sinks; only a genuinely
+//     over-full field overflows);
+//   2. extra in-range pairs are added nearest-first while slots remain,
+//     giving sensors multiple sinks (objective degree > 1).
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gen/generators.hpp"
+
+namespace locmm {
+
+MaxMinInstance sensor_instance(const SensorParams& p, std::uint64_t seed) {
+  LOCMM_CHECK(p.num_sensors >= 1 && p.num_sinks >= 1);
+  LOCMM_CHECK(p.max_sensors_per_sink >= 1);
+  Rng rng(seed);
+
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> sensors(static_cast<std::size_t>(p.num_sensors));
+  std::vector<Point> sinks(static_cast<std::size_t>(p.num_sinks));
+  for (auto& pt : sensors) pt = {rng.uniform(), rng.uniform()};
+  for (auto& pt : sinks) pt = {rng.uniform(), rng.uniform()};
+
+  auto dist = [&](std::int32_t s, std::int32_t t) {
+    return std::hypot(sensors[static_cast<std::size_t>(s)].x -
+                          sinks[static_cast<std::size_t>(t)].x,
+                      sensors[static_cast<std::size_t>(s)].y -
+                          sinks[static_cast<std::size_t>(t)].y);
+  };
+
+  std::vector<std::int32_t> load(static_cast<std::size_t>(p.num_sinks), 0);
+  std::vector<std::vector<char>> assigned(
+      static_cast<std::size_t>(p.num_sensors),
+      std::vector<char>(static_cast<std::size_t>(p.num_sinks), 0));
+  struct Pair {
+    std::int32_t sensor, sink;
+    double d;
+  };
+  std::vector<Pair> pairs;
+
+  // Phase 1: cover every sensor, nearest-first globally.  A sensor takes
+  // its nearest sink with a spare slot; if all sinks are full (over-full
+  // field), it takes its nearest sink regardless.
+  std::vector<std::int32_t> order(static_cast<std::size_t>(p.num_sensors));
+  for (std::int32_t s = 0; s < p.num_sensors; ++s)
+    order[static_cast<std::size_t>(s)] = s;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     double da = std::numeric_limits<double>::infinity();
+                     double db = da;
+                     for (std::int32_t t = 0; t < p.num_sinks; ++t) {
+                       da = std::min(da, dist(a, t));
+                       db = std::min(db, dist(b, t));
+                     }
+                     return da < db;
+                   });
+  for (std::int32_t s : order) {
+    std::int32_t best = -1, fallback = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    double fallback_d = best_d;
+    for (std::int32_t t = 0; t < p.num_sinks; ++t) {
+      const double d = dist(s, t);
+      if (d < fallback_d) {
+        fallback_d = d;
+        fallback = t;
+      }
+      if (load[static_cast<std::size_t>(t)] < p.max_sensors_per_sink &&
+          d < best_d) {
+        best_d = d;
+        best = t;
+      }
+    }
+    const std::int32_t t = (best >= 0) ? best : fallback;
+    pairs.push_back({s, t, dist(s, t)});
+    ++load[static_cast<std::size_t>(t)];
+    assigned[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] = 1;
+  }
+
+  // Phase 2: extra in-range pairs, nearest-first, while slots remain.
+  std::vector<Pair> extras;
+  for (std::int32_t s = 0; s < p.num_sensors; ++s) {
+    for (std::int32_t t = 0; t < p.num_sinks; ++t) {
+      const double d = dist(s, t);
+      if (d <= p.range &&
+          !assigned[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)])
+        extras.push_back({s, t, d});
+    }
+  }
+  std::stable_sort(extras.begin(), extras.end(),
+                   [](const Pair& a, const Pair& b) { return a.d < b.d; });
+  for (const Pair& e : extras) {
+    if (load[static_cast<std::size_t>(e.sink)] >= p.max_sensors_per_sink)
+      continue;
+    pairs.push_back(e);
+    ++load[static_cast<std::size_t>(e.sink)];
+  }
+
+  // One agent per pair; constraint row per sink; objective per sensor.
+  InstanceBuilder b;
+  std::vector<std::vector<Entry>> sink_rows(
+      static_cast<std::size_t>(p.num_sinks));
+  std::vector<std::vector<Entry>> sensor_rows(
+      static_cast<std::size_t>(p.num_sensors));
+  for (const Pair& pr : pairs) {
+    const AgentId v = b.add_agent();
+    // Energy cost grows with distance: gathering from far away consumes
+    // more of the sink's unit budget.
+    const double a = std::pow(1.0 + pr.d, p.energy_exponent);
+    sink_rows[static_cast<std::size_t>(pr.sink)].push_back({v, a});
+    sensor_rows[static_cast<std::size_t>(pr.sensor)].push_back({v, 1.0});
+  }
+  for (auto& row : sink_rows)
+    if (!row.empty()) b.add_constraint(std::move(row));
+  for (auto& row : sensor_rows) {
+    LOCMM_CHECK(!row.empty());
+    b.add_objective(std::move(row));
+  }
+  return b.build();
+}
+
+}  // namespace locmm

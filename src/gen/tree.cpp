@@ -1,0 +1,81 @@
+// tree.cpp -- random alternating trees.
+//
+// Grown root-down: an agent may spawn constraint children (degree-2
+// constraint to one fresh agent each) and one objective grouping it with a
+// batch of fresh agents.  Every intermediate node (constraint or objective)
+// joins an agent to otherwise-disjoint subtrees, so the communication graph
+// is a tree: its unfolding is itself, making the family a direct probe of
+// the §3 machinery (view trees terminate, t_u exact on subtrees).
+// Validity is patched at the end: agents missing an objective get a
+// singleton objective (§4.5 fodder), agents missing a constraint get a
+// singleton constraint (§4.2 fodder).
+#include <deque>
+
+#include "gen/generators.hpp"
+
+namespace locmm {
+
+MaxMinInstance tree_instance(const TreeParams& p, std::uint64_t seed) {
+  LOCMM_CHECK(p.max_agents >= 2);
+  LOCMM_CHECK(p.delta_k >= 2);
+  Rng rng(seed);
+  InstanceBuilder b;
+
+  std::deque<AgentId> frontier{b.add_agent()};
+  std::vector<char> has_objective(1, 0);
+  std::vector<char> has_constraint(1, 0);
+
+  auto fresh = [&]() {
+    const AgentId v = b.add_agent();
+    has_objective.push_back(0);
+    has_constraint.push_back(0);
+    return v;
+  };
+  auto coeff = [&] { return rng.uniform(p.coeff_lo, p.coeff_hi); };
+
+  while (!frontier.empty() && b.num_agents() < p.max_agents) {
+    const AgentId v = frontier.front();
+    frontier.pop_front();
+
+    // Constraint children.
+    const auto nc = static_cast<std::int32_t>(
+        rng.range(0, p.max_constraint_children));
+    for (std::int32_t j = 0; j < nc && b.num_agents() < p.max_agents; ++j) {
+      if (!rng.bernoulli(p.grow_prob)) continue;
+      const AgentId child = fresh();
+      b.add_constraint({{v, coeff()}, {child, coeff()}});
+      has_constraint[static_cast<std::size_t>(v)] = 1;
+      has_constraint[static_cast<std::size_t>(child)] = 1;
+      frontier.push_back(child);
+    }
+
+    // One objective grouping v with fresh agents.
+    if (!has_objective[static_cast<std::size_t>(v)] &&
+        rng.bernoulli(p.grow_prob) && b.num_agents() < p.max_agents) {
+      const auto nk = static_cast<std::int32_t>(
+          rng.range(1, p.delta_k - 1));
+      std::vector<Entry> row{{v, coeff()}};
+      for (std::int32_t j = 0; j < nk && b.num_agents() < p.max_agents; ++j) {
+        const AgentId child = fresh();
+        row.push_back({child, coeff()});
+        frontier.push_back(child);
+      }
+      if (row.size() >= 2) {
+        for (const Entry& e : row)
+          has_objective[static_cast<std::size_t>(e.agent)] = 1;
+        b.add_objective(std::move(row));
+      }
+    }
+  }
+
+  // Patch validity.
+  for (AgentId v = 0; v < b.num_agents(); ++v) {
+    if (!has_objective[static_cast<std::size_t>(v)])
+      b.add_objective({{v, coeff()}});
+    if (!has_constraint[static_cast<std::size_t>(v)])
+      b.add_constraint({{v, coeff()}});
+  }
+  return b.build();
+}
+
+}  // namespace locmm

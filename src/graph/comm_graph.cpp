@@ -1,0 +1,111 @@
+#include "graph/comm_graph.hpp"
+
+#include <deque>
+
+namespace locmm {
+
+const char* to_string(NodeType t) {
+  switch (t) {
+    case NodeType::kAgent: return "agent";
+    case NodeType::kConstraint: return "constraint";
+    case NodeType::kObjective: return "objective";
+  }
+  return "?";
+}
+
+CommGraph::CommGraph(const MaxMinInstance& inst)
+    : num_agents_(inst.num_agents()),
+      num_constraints_(inst.num_constraints()),
+      num_objectives_(inst.num_objectives()) {
+  const NodeId total = static_cast<NodeId>(num_agents_) + num_constraints_ +
+                       num_objectives_;
+  offsets_.assign(static_cast<std::size_t>(total) + 1, 0);
+  constraint_degree_.assign(static_cast<std::size_t>(num_agents_), 0);
+
+  // Degrees.
+  for (AgentId v = 0; v < num_agents_; ++v) {
+    const auto ic = inst.agent_constraints(v).size();
+    const auto ik = inst.agent_objectives(v).size();
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        static_cast<std::int64_t>(ic + ik);
+    constraint_degree_[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(ic);
+  }
+  for (ConstraintId i = 0; i < num_constraints_; ++i) {
+    offsets_[static_cast<std::size_t>(constraint_node(i)) + 1] =
+        static_cast<std::int64_t>(inst.constraint_row(i).size());
+  }
+  for (ObjectiveId k = 0; k < num_objectives_; ++k) {
+    offsets_[static_cast<std::size_t>(objective_node(k)) + 1] =
+        static_cast<std::int64_t>(inst.objective_row(k).size());
+  }
+  for (std::size_t n = 0; n + 1 < offsets_.size(); ++n)
+    offsets_[n + 1] += offsets_[n];
+  edges_.resize(static_cast<std::size_t>(offsets_.back()));
+
+  // Fill in port order.
+  for (AgentId v = 0; v < num_agents_; ++v) {
+    auto pos = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    for (const Incidence& inc : inst.agent_constraints(v))
+      edges_[pos++] = {constraint_node(inc.row), inc.coeff};
+    for (const Incidence& inc : inst.agent_objectives(v))
+      edges_[pos++] = {objective_node(inc.row), inc.coeff};
+  }
+  for (ConstraintId i = 0; i < num_constraints_; ++i) {
+    auto pos = static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(constraint_node(i))]);
+    for (const Entry& e : inst.constraint_row(i))
+      edges_[pos++] = {agent_node(e.agent), e.coeff};
+  }
+  for (ObjectiveId k = 0; k < num_objectives_; ++k) {
+    auto pos = static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(objective_node(k))]);
+    for (const Entry& e : inst.objective_row(k))
+      edges_[pos++] = {agent_node(e.agent), e.coeff};
+  }
+}
+
+std::vector<std::int32_t> CommGraph::bfs_distances(
+    NodeId src, std::int32_t max_dist) const {
+  LOCMM_CHECK(src >= 0 && src < num_nodes());
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(num_nodes()), -1);
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::deque<NodeId> queue{src};
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    const std::int32_t d = dist[static_cast<std::size_t>(node)];
+    if (d >= max_dist) continue;
+    for (const HalfEdge& e : neighbors(node)) {
+      auto& dd = dist[static_cast<std::size_t>(e.to)];
+      if (dd < 0) {
+        dd = d + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> CommGraph::ball(NodeId src, std::int32_t max_dist) const {
+  LOCMM_CHECK(src >= 0 && src < num_nodes());
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(num_nodes()), -1);
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::vector<NodeId> order{src};
+  std::size_t head = 0;
+  while (head < order.size()) {
+    const NodeId node = order[head++];
+    const std::int32_t d = dist[static_cast<std::size_t>(node)];
+    if (d >= max_dist) continue;
+    for (const HalfEdge& e : neighbors(node)) {
+      auto& dd = dist[static_cast<std::size_t>(e.to)];
+      if (dd < 0) {
+        dd = d + 1;
+        order.push_back(e.to);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace locmm

@@ -1,0 +1,95 @@
+#include "graph/view_tree.hpp"
+
+#include <cmath>
+
+namespace locmm {
+
+ViewTree ViewTree::build(const CommGraph& g, NodeId root, std::int32_t depth,
+                         std::int64_t max_nodes) {
+  LOCMM_CHECK(root >= 0 && root < g.num_nodes());
+  LOCMM_CHECK(depth >= 0);
+
+  ViewTree t;
+  t.depth_ = depth;
+
+  auto make_node = [&](NodeId origin, std::int32_t parent,
+                       std::int32_t parent_port, double parent_coeff,
+                       std::int32_t d) {
+    ViewNode n;
+    n.type = g.type(origin);
+    n.parent = parent;
+    n.parent_port = parent_port;
+    n.parent_coeff = parent_coeff;
+    n.depth = d;
+    n.origin = origin;
+    n.degree = g.degree(origin);
+    n.constraint_degree =
+        (n.type == NodeType::kAgent) ? g.constraint_degree(origin) : 0;
+    return n;
+  };
+
+  t.nodes_.push_back(make_node(root, -1, -1, 0.0, 0));
+
+  // BFS expansion; children of the node popped at position `head` are
+  // appended contiguously, in port order, skipping the parent port.
+  std::size_t head = 0;
+  while (head < t.nodes_.size()) {
+    const auto idx = static_cast<std::int32_t>(head);
+    // Copy the fields we need: nodes_ may reallocate below.
+    const NodeId origin = t.nodes_[head].origin;
+    const std::int32_t d = t.nodes_[head].depth;
+    const std::int32_t parent_port = t.nodes_[head].parent_port;
+    ++head;
+    if (d >= depth) continue;
+
+    const auto neigh = g.neighbors(origin);
+    t.nodes_[static_cast<std::size_t>(idx)].first_child =
+        static_cast<std::int32_t>(t.child_index_.size());
+    std::int32_t added = 0;
+    for (std::int32_t port = 0; port < static_cast<std::int32_t>(neigh.size());
+         ++port) {
+      if (port == parent_port) continue;  // non-backtracking
+      const HalfEdge& e = neigh[static_cast<std::size_t>(port)];
+      // Port at the child that leads back here.
+      std::int32_t back_port = -1;
+      const auto child_neigh = g.neighbors(e.to);
+      for (std::int32_t q = 0;
+           q < static_cast<std::int32_t>(child_neigh.size()); ++q) {
+        if (child_neigh[static_cast<std::size_t>(q)].to == origin) {
+          back_port = q;
+          break;
+        }
+      }
+      LOCMM_CHECK_MSG(back_port >= 0, "asymmetric adjacency in CommGraph");
+      const auto child_idx = static_cast<std::int32_t>(t.nodes_.size());
+      t.nodes_.push_back(make_node(e.to, idx, back_port, e.coeff, d + 1));
+      t.child_index_.push_back(child_idx);
+      ++added;
+      LOCMM_CHECK_MSG(static_cast<std::int64_t>(t.nodes_.size()) <= max_nodes,
+                      "view tree exceeds " << max_nodes
+                                           << " nodes; reduce depth/degree");
+    }
+    t.nodes_[static_cast<std::size_t>(idx)].num_children = added;
+  }
+  return t;
+}
+
+bool ViewTree::same_view(const ViewTree& a, const ViewTree& b) {
+  if (a.size() != b.size()) return false;
+  // Both trees are stored in deterministic BFS/port order, so structural
+  // equality reduces to elementwise comparison (origins excluded).
+  for (std::int32_t i = 0; i < a.size(); ++i) {
+    const ViewNode& x = a.node(i);
+    const ViewNode& y = b.node(i);
+    if (x.type != y.type || x.parent != y.parent ||
+        x.parent_port != y.parent_port || x.depth != y.depth ||
+        x.degree != y.degree || x.constraint_degree != y.constraint_degree ||
+        x.num_children != y.num_children || x.first_child != y.first_child) {
+      return false;
+    }
+    if (std::abs(x.parent_coeff - y.parent_coeff) > 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace locmm

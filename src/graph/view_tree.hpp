@@ -1,0 +1,113 @@
+// view_tree.hpp -- truncated unfoldings (paper §3).
+//
+// The unfolding G' of G rooted at r has one node per non-backtracking walk
+// from r; it is the universal cover of G.  A local algorithm with horizon D
+// in the port-numbering model sees exactly the depth-D truncation of the
+// unfolding rooted at itself (its *local view*): children of a node reached
+// via edge e are its neighbours via every incident edge except e, and types,
+// port numbers and coefficients are inherited from the parent graph
+// (Remarks 4-5 of §3).
+//
+// ViewTree materialises this truncation.  Each node records its parent, the
+// port index *at this node* that leads to the parent, the edge coefficient,
+// and its origin (the parent node in G).  Origins exist only for testing and
+// instrumentation -- the algorithms never branch on them, which is what
+// makes the implementation identifier-free as required by the model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+
+namespace locmm {
+
+struct ViewNode {
+  NodeType type = NodeType::kAgent;
+  std::int32_t parent = -1;       // index of parent view-node; -1 at the root
+  std::int32_t parent_port = -1;  // port at THIS node leading to the parent
+  double parent_coeff = 0.0;      // a_iv / c_kv on the parent edge
+  std::int32_t depth = 0;
+  NodeId origin = -1;             // G-node this copy projects to (testing only)
+  std::int32_t degree = 0;        // full degree in G (part of local input)
+  std::int32_t constraint_degree = 0;  // for agents: # constraint ports
+  std::int32_t first_child = 0;   // children stored contiguously,
+  std::int32_t num_children = 0;  // in port order with parent_port skipped
+};
+
+class ViewTree {
+ public:
+  ViewTree() = default;
+
+  // Builds the depth-`depth` truncation of the unfolding rooted at `root`.
+  // `max_nodes` guards against exponential blow-up on high-degree graphs.
+  static ViewTree build(const CommGraph& g, NodeId root, std::int32_t depth,
+                        std::int64_t max_nodes = 64 * 1000 * 1000);
+
+  std::int32_t size() const { return static_cast<std::int32_t>(nodes_.size()); }
+  const ViewNode& node(std::int32_t idx) const {
+    LOCMM_DCHECK(idx >= 0 && idx < size());
+    return nodes_[static_cast<std::size_t>(idx)];
+  }
+  std::int32_t depth() const { return depth_; }
+
+  // Child view-node indices of `idx` (port order, parent port skipped).
+  std::span<const std::int32_t> children(std::int32_t idx) const {
+    const ViewNode& n = node(idx);
+    return {child_index_.data() + n.first_child,
+            child_index_.data() + n.first_child + n.num_children};
+  }
+
+  // True when all non-parent ports of `idx` are materialised as children
+  // (false exactly at the truncation frontier).
+  bool expanded(std::int32_t idx) const {
+    const ViewNode& n = node(idx);
+    return n.num_children + (n.parent >= 0 ? 1 : 0) == n.degree;
+  }
+
+  // Calls fn(port, neighbor_view_index, coeff) for every materialised
+  // neighbour of `idx`, in the node's original port order (the parent edge
+  // interleaved at parent_port).  Frontier nodes only expose their parent.
+  template <typename Fn>
+  void for_each_neighbor(std::int32_t idx, Fn&& fn) const {
+    const ViewNode& n = node(idx);
+    auto kids = children(idx);
+    if (kids.empty()) {
+      if (n.parent >= 0) fn(n.parent_port, n.parent, n.parent_coeff);
+      return;
+    }
+    std::int32_t j = 0;
+    const std::int32_t total =
+        static_cast<std::int32_t>(kids.size()) + (n.parent >= 0 ? 1 : 0);
+    for (std::int32_t port = 0; port < total; ++port) {
+      if (n.parent >= 0 && port == n.parent_port) {
+        fn(port, n.parent, n.parent_coeff);
+      } else {
+        const std::int32_t child = kids[j++];
+        fn(port, child,
+           nodes_[static_cast<std::size_t>(child)].parent_coeff);
+      }
+    }
+  }
+
+  // Structural equality ignoring origins: same shape, types, port positions
+  // and coefficients.  This is the "information content" a port-numbering
+  // algorithm can observe; the faithfulness tests compare message-gathered
+  // views with directly-built ones through this.
+  static bool same_view(const ViewTree& a, const ViewTree& b);
+
+  // Approximate serialized size in bytes (for message accounting): per node
+  // type + degree + parent port + coefficient.
+  std::int64_t byte_size() const {
+    return static_cast<std::int64_t>(nodes_.size()) * 13;
+  }
+
+  friend class ViewAssembler;  // dist/gather.cpp splices message views
+
+ private:
+  std::vector<ViewNode> nodes_;
+  std::vector<std::int32_t> child_index_;
+  std::int32_t depth_ = 0;
+};
+
+}  // namespace locmm

@@ -1,0 +1,254 @@
+#include "lp/instance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace locmm {
+
+InstanceStats MaxMinInstance::stats() const {
+  InstanceStats s;
+  s.agents = num_agents();
+  s.constraints = num_constraints();
+  s.objectives = num_objectives();
+  s.nnz_a = static_cast<std::int64_t>(constraint_entries_.size());
+  s.nnz_c = static_cast<std::int64_t>(objective_entries_.size());
+  for (ConstraintId i = 0; i < num_constraints(); ++i) {
+    s.delta_i = std::max(s.delta_i,
+                         static_cast<std::int32_t>(constraint_row(i).size()));
+  }
+  for (ObjectiveId k = 0; k < num_objectives(); ++k) {
+    s.delta_k = std::max(s.delta_k,
+                         static_cast<std::int32_t>(objective_row(k).size()));
+  }
+  for (AgentId v = 0; v < num_agents(); ++v) {
+    s.max_iv = std::max(s.max_iv,
+                        static_cast<std::int32_t>(agent_constraints(v).size()));
+    s.max_kv = std::max(s.max_kv,
+                        static_cast<std::int32_t>(agent_objectives(v).size()));
+  }
+  return s;
+}
+
+double MaxMinInstance::utility(std::span<const double> x) const {
+  LOCMM_CHECK(static_cast<std::int32_t>(x.size()) == num_agents());
+  LOCMM_CHECK_MSG(num_objectives() > 0, "utility of instance with no objectives");
+  double omega = std::numeric_limits<double>::infinity();
+  for (ObjectiveId k = 0; k < num_objectives(); ++k) {
+    double val = 0.0;
+    for (const Entry& e : objective_row(k)) val += e.coeff * x[e.agent];
+    omega = std::min(omega, val);
+  }
+  return omega;
+}
+
+std::vector<double> MaxMinInstance::objective_values(
+    std::span<const double> x) const {
+  LOCMM_CHECK(static_cast<std::int32_t>(x.size()) == num_agents());
+  std::vector<double> vals(static_cast<std::size_t>(num_objectives()), 0.0);
+  for (ObjectiveId k = 0; k < num_objectives(); ++k) {
+    double val = 0.0;
+    for (const Entry& e : objective_row(k)) val += e.coeff * x[e.agent];
+    vals[static_cast<std::size_t>(k)] = val;
+  }
+  return vals;
+}
+
+double MaxMinInstance::violation(std::span<const double> x) const {
+  LOCMM_CHECK(static_cast<std::int32_t>(x.size()) == num_agents());
+  double worst = 0.0;
+  for (ConstraintId i = 0; i < num_constraints(); ++i) {
+    double lhs = 0.0;
+    for (const Entry& e : constraint_row(i)) lhs += e.coeff * x[e.agent];
+    worst = std::max(worst, lhs - 1.0);
+  }
+  for (AgentId v = 0; v < num_agents(); ++v) worst = std::max(worst, -x[v]);
+  return worst;
+}
+
+void MaxMinInstance::validate() const {
+  auto check_rows = [&](auto count, auto row_of, const char* kind) {
+    std::vector<char> seen(static_cast<std::size_t>(num_agents()), 0);
+    for (std::int32_t r = 0; r < count; ++r) {
+      auto row = row_of(r);
+      LOCMM_CHECK_MSG(!row.empty(), kind << " row " << r << " is empty");
+      for (const Entry& e : row) {
+        LOCMM_CHECK_MSG(e.agent >= 0 && e.agent < num_agents(),
+                        kind << " row " << r << " references agent "
+                             << e.agent << " out of range");
+        LOCMM_CHECK_MSG(e.coeff > 0.0, kind << " row " << r
+                                            << " has non-positive coefficient "
+                                            << e.coeff);
+        LOCMM_CHECK_MSG(!seen[static_cast<std::size_t>(e.agent)],
+                        kind << " row " << r << " repeats agent " << e.agent);
+        seen[static_cast<std::size_t>(e.agent)] = 1;
+      }
+      for (const Entry& e : row) seen[static_cast<std::size_t>(e.agent)] = 0;
+    }
+  };
+  check_rows(num_constraints(),
+             [&](ConstraintId i) { return constraint_row(i); }, "constraint");
+  check_rows(num_objectives(), [&](ObjectiveId k) { return objective_row(k); },
+             "objective");
+
+  for (AgentId v = 0; v < num_agents(); ++v) {
+    LOCMM_CHECK_MSG(!agent_constraints(v).empty(),
+                    "agent " << v << " has no constraints (unconstrained; "
+                             << "preprocess per paper §4 before building)");
+    LOCMM_CHECK_MSG(!agent_objectives(v).empty(),
+                    "agent " << v << " has no objectives (non-contributing; "
+                             << "preprocess per paper §4 before building)");
+  }
+}
+
+bool MaxMinInstance::connected() const {
+  const std::int64_t total = static_cast<std::int64_t>(num_agents()) +
+                             num_constraints() + num_objectives();
+  if (total == 0) return true;
+  // Node numbering: agents, then constraints, then objectives.
+  const std::int64_t coff = num_agents();
+  const std::int64_t koff = coff + num_constraints();
+  std::vector<char> seen(static_cast<std::size_t>(total), 0);
+  std::vector<std::int64_t> stack{0};
+  seen[0] = 1;
+  std::int64_t visited = 0;
+  while (!stack.empty()) {
+    const std::int64_t node = stack.back();
+    stack.pop_back();
+    ++visited;
+    auto push = [&](std::int64_t u) {
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        stack.push_back(u);
+      }
+    };
+    if (node < coff) {
+      const auto v = static_cast<AgentId>(node);
+      for (const Incidence& inc : agent_constraints(v)) push(coff + inc.row);
+      for (const Incidence& inc : agent_objectives(v)) push(koff + inc.row);
+    } else if (node < koff) {
+      const auto i = static_cast<ConstraintId>(node - coff);
+      for (const Entry& e : constraint_row(i)) push(e.agent);
+    } else {
+      const auto k = static_cast<ObjectiveId>(node - koff);
+      for (const Entry& e : objective_row(k)) push(e.agent);
+    }
+  }
+  return visited == total;
+}
+
+ConstraintId InstanceBuilder::add_constraint(std::vector<Entry> row) {
+  for (const Entry& e : row) {
+    LOCMM_CHECK_MSG(e.agent >= 0, "constraint entry with negative agent id");
+    ensure_agents(e.agent + 1);
+  }
+  constraint_rows_.push_back(std::move(row));
+  return static_cast<ConstraintId>(constraint_rows_.size()) - 1;
+}
+
+ObjectiveId InstanceBuilder::add_objective(std::vector<Entry> row) {
+  for (const Entry& e : row) {
+    LOCMM_CHECK_MSG(e.agent >= 0, "objective entry with negative agent id");
+    ensure_agents(e.agent + 1);
+  }
+  objective_rows_.push_back(std::move(row));
+  return static_cast<ObjectiveId>(objective_rows_.size()) - 1;
+}
+
+MaxMinInstance InstanceBuilder::build(bool validate) const {
+  MaxMinInstance inst;
+  inst.num_agents_ = num_agents_;
+
+  inst.constraint_offsets_.reserve(constraint_rows_.size() + 1);
+  for (const auto& row : constraint_rows_) {
+    inst.constraint_entries_.insert(inst.constraint_entries_.end(), row.begin(),
+                                    row.end());
+    inst.constraint_offsets_.push_back(
+        static_cast<std::int64_t>(inst.constraint_entries_.size()));
+  }
+  inst.objective_offsets_.reserve(objective_rows_.size() + 1);
+  for (const auto& row : objective_rows_) {
+    inst.objective_entries_.insert(inst.objective_entries_.end(), row.begin(),
+                                   row.end());
+    inst.objective_offsets_.push_back(
+        static_cast<std::int64_t>(inst.objective_entries_.size()));
+  }
+
+  // Agent incidence, in row-insertion order (this fixes the agent-side port
+  // numbering deterministically).
+  const auto n = static_cast<std::size_t>(num_agents_);
+  std::vector<std::int64_t> cdeg(n, 0), kdeg(n, 0);
+  for (const auto& row : constraint_rows_)
+    for (const Entry& e : row) ++cdeg[static_cast<std::size_t>(e.agent)];
+  for (const auto& row : objective_rows_)
+    for (const Entry& e : row) ++kdeg[static_cast<std::size_t>(e.agent)];
+
+  inst.agent_constraint_offsets_.assign(n + 1, 0);
+  inst.agent_objective_offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    inst.agent_constraint_offsets_[v + 1] =
+        inst.agent_constraint_offsets_[v] + cdeg[v];
+    inst.agent_objective_offsets_[v + 1] =
+        inst.agent_objective_offsets_[v] + kdeg[v];
+  }
+  inst.agent_constraint_inc_.resize(
+      static_cast<std::size_t>(inst.agent_constraint_offsets_[n]));
+  inst.agent_objective_inc_.resize(
+      static_cast<std::size_t>(inst.agent_objective_offsets_[n]));
+
+  std::vector<std::int64_t> cpos(inst.agent_constraint_offsets_.begin(),
+                                 inst.agent_constraint_offsets_.end() - 1);
+  for (std::size_t r = 0; r < constraint_rows_.size(); ++r) {
+    for (const Entry& e : constraint_rows_[r]) {
+      inst.agent_constraint_inc_[static_cast<std::size_t>(
+          cpos[static_cast<std::size_t>(e.agent)]++)] = {
+          static_cast<std::int32_t>(r), e.coeff};
+    }
+  }
+  std::vector<std::int64_t> kpos(inst.agent_objective_offsets_.begin(),
+                                 inst.agent_objective_offsets_.end() - 1);
+  for (std::size_t r = 0; r < objective_rows_.size(); ++r) {
+    for (const Entry& e : objective_rows_[r]) {
+      inst.agent_objective_inc_[static_cast<std::size_t>(
+          kpos[static_cast<std::size_t>(e.agent)]++)] = {
+          static_cast<std::int32_t>(r), e.coeff};
+    }
+  }
+
+  if (validate) inst.validate();
+  return inst;
+}
+
+MaxMinInstance relabel_agents(const MaxMinInstance& inst,
+                              std::span<const AgentId> perm) {
+  LOCMM_CHECK(static_cast<std::int32_t>(perm.size()) == inst.num_agents());
+  InstanceBuilder b(inst.num_agents());
+  for (ConstraintId i = 0; i < inst.num_constraints(); ++i) {
+    std::vector<Entry> row;
+    row.reserve(inst.constraint_row(i).size());
+    for (const Entry& e : inst.constraint_row(i))
+      row.push_back({perm[e.agent], e.coeff});
+    b.add_constraint(std::move(row));
+  }
+  for (ObjectiveId k = 0; k < inst.num_objectives(); ++k) {
+    std::vector<Entry> row;
+    row.reserve(inst.objective_row(k).size());
+    for (const Entry& e : inst.objective_row(k))
+      row.push_back({perm[e.agent], e.coeff});
+    b.add_objective(std::move(row));
+  }
+  return b.build();
+}
+
+std::string describe(const MaxMinInstance& inst) {
+  const InstanceStats s = inst.stats();
+  std::ostringstream os;
+  os << "V=" << s.agents << " I=" << s.constraints << " K=" << s.objectives
+     << " nnzA=" << s.nnz_a << " nnzC=" << s.nnz_c << " dI=" << s.delta_i
+     << " dK=" << s.delta_k << " max|Iv|=" << s.max_iv
+     << " max|Kv|=" << s.max_kv;
+  return os.str();
+}
+
+}  // namespace locmm

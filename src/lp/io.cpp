@@ -1,0 +1,88 @@
+#include "lp/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace locmm {
+
+void write_instance(std::ostream& os, const MaxMinInstance& inst) {
+  os << "maxminlp 1\n";
+  os << "agents " << inst.num_agents() << "\n";
+  os << std::setprecision(17);
+  for (ConstraintId i = 0; i < inst.num_constraints(); ++i) {
+    os << "constraint";
+    for (const Entry& e : inst.constraint_row(i))
+      os << ' ' << e.agent << ' ' << e.coeff;
+    os << "\n";
+  }
+  for (ObjectiveId k = 0; k < inst.num_objectives(); ++k) {
+    os << "objective";
+    for (const Entry& e : inst.objective_row(k))
+      os << ' ' << e.agent << ' ' << e.coeff;
+    os << "\n";
+  }
+}
+
+MaxMinInstance read_instance(std::istream& is) {
+  std::string line;
+  bool saw_magic = false;
+  InstanceBuilder builder;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank line
+    if (word == "maxminlp") {
+      int version = 0;
+      LOCMM_CHECK_MSG(ls >> version && version == 1,
+                      "unsupported maxminlp version");
+      saw_magic = true;
+    } else if (word == "agents") {
+      LOCMM_CHECK_MSG(saw_magic, "missing 'maxminlp 1' header");
+      std::int32_t n = 0;
+      LOCMM_CHECK_MSG((ls >> n) && n >= 0, "bad agents line");
+      builder.ensure_agents(n);
+    } else if (word == "constraint" || word == "objective") {
+      LOCMM_CHECK_MSG(saw_magic, "missing 'maxminlp 1' header");
+      std::vector<Entry> row;
+      AgentId agent;
+      double coeff;
+      while (ls >> agent) {
+        LOCMM_CHECK_MSG(ls >> coeff, "dangling agent id in row");
+        row.push_back({agent, coeff});
+      }
+      LOCMM_CHECK_MSG(!row.empty(), "empty " << word << " row");
+      if (word == "constraint") {
+        builder.add_constraint(std::move(row));
+      } else {
+        builder.add_objective(std::move(row));
+      }
+    } else {
+      LOCMM_CHECK_MSG(false, "unknown directive '" << word << "'");
+    }
+  }
+  LOCMM_CHECK_MSG(saw_magic, "missing 'maxminlp 1' header");
+  return builder.build();
+}
+
+void save_instance(const std::string& path, const MaxMinInstance& inst) {
+  std::ofstream os(path);
+  LOCMM_CHECK_MSG(os, "cannot open '" << path << "' for writing");
+  write_instance(os, inst);
+  LOCMM_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+}
+
+MaxMinInstance load_instance(const std::string& path) {
+  std::ifstream is(path);
+  LOCMM_CHECK_MSG(is, "cannot open '" << path << "' for reading");
+  return read_instance(is);
+}
+
+}  // namespace locmm

@@ -1,0 +1,24 @@
+// io.hpp -- plain-text serialization of max-min LP instances.
+//
+// Format (line oriented, '#' comments allowed):
+//   maxminlp 1
+//   agents <n>
+//   constraint <agent> <coeff> [<agent> <coeff> ...]
+//   objective  <agent> <coeff> [<agent> <coeff> ...]
+// Entry order is preserved, so the port numbering round-trips.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/instance.hpp"
+
+namespace locmm {
+
+void write_instance(std::ostream& os, const MaxMinInstance& inst);
+MaxMinInstance read_instance(std::istream& is);
+
+void save_instance(const std::string& path, const MaxMinInstance& inst);
+MaxMinInstance load_instance(const std::string& path);
+
+}  // namespace locmm

@@ -1,0 +1,92 @@
+#include "lp/maxmin_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace locmm {
+
+MaxMinLpResult solve_lp_optimum(const MaxMinInstance& inst,
+                                const SimplexOptions& options) {
+  const std::int32_t n = inst.num_agents();
+  const std::int32_t mi = inst.num_constraints();
+  const std::int32_t mk = inst.num_objectives();
+  LOCMM_CHECK_MSG(mk > 0, "max-min LP needs at least one objective");
+
+  // Variables: columns [0, n) are x, column n is omega.
+  std::vector<SparseLpRow> rows;
+  rows.reserve(static_cast<std::size_t>(mi + mk));
+  for (ConstraintId i = 0; i < mi; ++i) {
+    SparseLpRow row;
+    row.rhs = 1.0;
+    for (const Entry& e : inst.constraint_row(i))
+      row.entries.emplace_back(e.agent, e.coeff);
+    rows.push_back(std::move(row));
+  }
+  for (ObjectiveId k = 0; k < mk; ++k) {
+    SparseLpRow row;
+    row.rhs = 0.0;
+    row.entries.emplace_back(n, 1.0);  // +omega
+    for (const Entry& e : inst.objective_row(k))
+      row.entries.emplace_back(e.agent, -e.coeff);
+    rows.push_back(std::move(row));
+  }
+  std::vector<double> objective(static_cast<std::size_t>(n) + 1, 0.0);
+  objective.back() = 1.0;
+
+  const LpResult lp = simplex_solve_max(n + 1, rows, objective, options);
+
+  MaxMinLpResult out;
+  out.status = lp.status;
+  out.iterations = lp.iterations;
+  if (lp.status != LpStatus::kOptimal) return out;
+  out.omega = lp.objective;
+  out.x.assign(lp.primal.begin(), lp.primal.begin() + n);
+  out.dual_i.assign(lp.dual.begin(), lp.dual.begin() + mi);
+  out.dual_k.assign(lp.dual.begin() + mi, lp.dual.end());
+  return out;
+}
+
+CertificateReport check_certificate(const MaxMinInstance& inst,
+                                    const MaxMinLpResult& result) {
+  LOCMM_CHECK(result.status == LpStatus::kOptimal);
+  const std::int32_t n = inst.num_agents();
+  LOCMM_CHECK(static_cast<std::int32_t>(result.x.size()) == n);
+  LOCMM_CHECK(static_cast<std::int32_t>(result.dual_i.size()) ==
+              inst.num_constraints());
+  LOCMM_CHECK(static_cast<std::int32_t>(result.dual_k.size()) ==
+              inst.num_objectives());
+
+  CertificateReport rep;
+  rep.scale = std::abs(result.omega) + 1.0;
+
+  rep.primal_violation = std::max(0.0, inst.violation(result.x));
+
+  // Dual feasibility.
+  double dviol = 0.0;
+  for (double y : result.dual_i) dviol = std::max(dviol, -y);
+  for (double y : result.dual_k) dviol = std::max(dviol, -y);
+  // Per-agent rows: sum_i a_iv y_i - sum_k c_kv y_k >= 0.
+  for (AgentId v = 0; v < n; ++v) {
+    double lhs = 0.0;
+    for (const Incidence& inc : inst.agent_constraints(v))
+      lhs += inc.coeff * result.dual_i[inc.row];
+    for (const Incidence& inc : inst.agent_objectives(v))
+      lhs -= inc.coeff * result.dual_k[inc.row];
+    dviol = std::max(dviol, -lhs);
+  }
+  // Omega row: sum_k y_k >= 1.
+  double ysum = 0.0;
+  for (double y : result.dual_k) ysum += y;
+  dviol = std::max(dviol, 1.0 - ysum);
+  rep.dual_violation = dviol;
+
+  // Gap: omega(x) vs dual objective sum_i y_i.
+  double dual_obj = 0.0;
+  for (double y : result.dual_i) dual_obj += y;
+  rep.gap = std::abs(inst.utility(result.x) - dual_obj);
+  return rep;
+}
+
+}  // namespace locmm

@@ -1,0 +1,58 @@
+// maxmin_solver.hpp -- exact (ground-truth) solution of a max-min LP.
+//
+// The max-min LP
+//   max omega  s.t.  A x <= 1,  C x >= omega 1,  x >= 0
+// is solved as the standard-form LP over z = (x, omega):
+//   max omega  s.t.  A x <= 1,  omega - C x <= 0,  x, omega >= 0.
+// All right-hand sides are nonnegative, so the slack basis is feasible and
+// phase 1 never runs.  A valid instance (validate() passes) is always
+// feasible (x = 0) and bounded (every agent is constrained), so the status
+// is kOptimal unless the iteration limit trips.
+//
+// The result carries the dual multipliers, and check_certificate() verifies
+// optimality *independently of the solver*: primal feasibility, dual
+// feasibility, and zero duality gap together certify omega* exactly (LP
+// strong duality).  Every ground-truth value used in the experiments is
+// gated on this certificate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lp/instance.hpp"
+#include "lp/simplex.hpp"
+
+namespace locmm {
+
+struct MaxMinLpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double omega = 0.0;            // optimal utility omega*
+  std::vector<double> x;         // optimal agent values
+  std::vector<double> dual_i;    // multipliers of the packing rows (>= 0)
+  std::vector<double> dual_k;    // multipliers of the covering rows (>= 0)
+  std::int64_t iterations = 0;
+};
+
+MaxMinLpResult solve_lp_optimum(const MaxMinInstance& inst,
+                                const SimplexOptions& options = {});
+
+// LP duality certificate for the max-min LP.  With y_i >= 0, y_k >= 0:
+//   dual feasibility:  sum_i a_iv y_i >= sum_k c_kv y_k  for every agent v,
+//                      sum_k y_k >= 1,
+//   weak duality:      omega(any feasible x) <= sum_i y_i,
+// so primal-feasible x with utility equal to sum_i y_i is optimal.
+struct CertificateReport {
+  double primal_violation = 0.0;  // max constraint violation of x
+  double dual_violation = 0.0;    // max violation of the dual constraints
+  double gap = 0.0;               // |omega(x) - sum_i y_i|
+  double scale = 1.0;             // |omega*| + 1, for relative comparison
+  bool ok(double tol = 1e-7) const {
+    return primal_violation <= tol * scale && dual_violation <= tol * scale &&
+           gap <= tol * scale;
+  }
+};
+
+CertificateReport check_certificate(const MaxMinInstance& inst,
+                                    const MaxMinLpResult& result);
+
+}  // namespace locmm

@@ -1,0 +1,175 @@
+#include "lp/preprocess.hpp"
+
+#include <algorithm>
+
+namespace locmm {
+
+PreprocessResult preprocess(const RawInstance& raw) {
+  LOCMM_CHECK(raw.num_agents >= 0);
+  const auto n = static_cast<std::size_t>(raw.num_agents);
+  for (const auto& row : raw.constraints) {
+    for (const Entry& e : row) {
+      LOCMM_CHECK_MSG(e.agent >= 0 && e.agent < raw.num_agents,
+                      "raw constraint references agent " << e.agent);
+      LOCMM_CHECK_MSG(e.coeff > 0.0, "raw coefficients must be positive");
+    }
+  }
+  for (const auto& row : raw.objectives) {
+    for (const Entry& e : row) {
+      LOCMM_CHECK_MSG(e.agent >= 0 && e.agent < raw.num_agents,
+                      "raw objective references agent " << e.agent);
+      LOCMM_CHECK_MSG(e.coeff > 0.0, "raw coefficients must be positive");
+    }
+  }
+
+  PreprocessResult out;
+  out.raw_agents_ = raw.num_agents;
+
+  // Live flags, driven to a fixpoint.
+  std::vector<char> agent_alive(n, 1);
+  std::vector<char> agent_unbounded(n, 0);
+  std::vector<char> constraint_alive(raw.constraints.size(), 1);
+  std::vector<char> objective_alive(raw.objectives.size(), 1);
+
+  // An objective that is empty *from the start* pins omega* to zero.
+  for (const auto& row : raw.objectives) {
+    if (row.empty()) {
+      out.decided_ = true;
+      out.reduced_id_.assign(n, -1);
+      return out;
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Isolated (empty) constraints are deleted.
+    for (std::size_t i = 0; i < raw.constraints.size(); ++i) {
+      if (!constraint_alive[i]) continue;
+      bool any = false;
+      for (const Entry& e : raw.constraints[i]) {
+        if (agent_alive[static_cast<std::size_t>(e.agent)]) any = true;
+      }
+      if (!any) {
+        constraint_alive[i] = 0;
+        changed = true;
+      }
+    }
+
+    // Agents: count live incidences.
+    std::vector<std::int32_t> in_constraints(n, 0), in_objectives(n, 0);
+    for (std::size_t i = 0; i < raw.constraints.size(); ++i) {
+      if (!constraint_alive[i]) continue;
+      for (const Entry& e : raw.constraints[i]) {
+        if (agent_alive[static_cast<std::size_t>(e.agent)])
+          ++in_constraints[static_cast<std::size_t>(e.agent)];
+      }
+    }
+    for (std::size_t k = 0; k < raw.objectives.size(); ++k) {
+      if (!objective_alive[k]) continue;
+      for (const Entry& e : raw.objectives[k]) {
+        if (agent_alive[static_cast<std::size_t>(e.agent)])
+          ++in_objectives[static_cast<std::size_t>(e.agent)];
+      }
+    }
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!agent_alive[v]) continue;
+      if (in_objectives[v] == 0) {
+        // Non-contributing: set to zero and remove.
+        agent_alive[v] = 0;
+        changed = true;
+      } else if (in_constraints[v] == 0) {
+        // Unconstrained and contributing: its objectives can be served to
+        // any level, so they can never be the minimum -- remove them and
+        // remember the agent.
+        agent_unbounded[v] = 1;
+        agent_alive[v] = 0;
+        changed = true;
+        for (std::size_t k = 0; k < raw.objectives.size(); ++k) {
+          if (!objective_alive[k]) continue;
+          for (const Entry& e : raw.objectives[k]) {
+            if (static_cast<std::size_t>(e.agent) == v) {
+              objective_alive[k] = 0;
+              out.removed_objective_server_.emplace_back(
+                  static_cast<AgentId>(v), e.coeff);
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // An objective that *became* empty after removals: its remaining
+    // support is gone.  Its agents were removed either as non-contributing
+    // (value 0 -- but then the objective pins omega to 0 only if no other
+    // support...) -- by construction an alive objective loses members only
+    // when they were zeroed or unbounded; if ALL members were zeroed the
+    // optimum is 0; if any was unbounded the row was already removed above.
+    for (std::size_t k = 0; k < raw.objectives.size(); ++k) {
+      if (!objective_alive[k]) continue;
+      bool any = false;
+      for (const Entry& e : raw.objectives[k]) {
+        if (agent_alive[static_cast<std::size_t>(e.agent)]) any = true;
+      }
+      if (!any) {
+        out.decided_ = true;
+        out.reduced_id_.assign(n, -1);
+        return out;
+      }
+    }
+  }
+
+  // Assemble the reduced instance.
+  out.reduced_id_.assign(n, -1);
+  InstanceBuilder b;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (agent_alive[v]) out.reduced_id_[v] = b.add_agent();
+    if (agent_unbounded[v]) out.unbounded_.push_back(static_cast<AgentId>(v));
+  }
+  for (std::size_t i = 0; i < raw.constraints.size(); ++i) {
+    if (!constraint_alive[i]) continue;
+    std::vector<Entry> row;
+    for (const Entry& e : raw.constraints[i]) {
+      const std::int32_t id = out.reduced_id_[static_cast<std::size_t>(e.agent)];
+      if (id >= 0) row.push_back({id, e.coeff});
+    }
+    if (!row.empty()) b.add_constraint(std::move(row));
+  }
+  for (std::size_t k = 0; k < raw.objectives.size(); ++k) {
+    if (!objective_alive[k]) continue;
+    std::vector<Entry> row;
+    for (const Entry& e : raw.objectives[k]) {
+      const std::int32_t id = out.reduced_id_[static_cast<std::size_t>(e.agent)];
+      if (id >= 0) row.push_back({id, e.coeff});
+    }
+    LOCMM_CHECK(!row.empty());
+    b.add_objective(std::move(row));
+  }
+  LOCMM_CHECK_MSG(b.num_objectives() > 0,
+                  "all objectives removed as unbounded; the raw optimum is "
+                  "+infinity (no meaningful max-min instance remains)");
+  out.instance_ = b.build();
+  return out;
+}
+
+std::vector<double> PreprocessResult::lift(std::span<const double> x_reduced,
+                                           double utility) const {
+  std::vector<double> x(static_cast<std::size_t>(raw_agents_), 0.0);
+  if (decided_) return x;  // x = 0 is optimal (omega* = 0)
+  LOCMM_CHECK(static_cast<std::int32_t>(x_reduced.size()) ==
+              instance_.num_agents());
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    if (reduced_id_[v] >= 0)
+      x[v] = x_reduced[static_cast<std::size_t>(reduced_id_[v])];
+  }
+  // Serve each removed objective at `utility` through its chosen agent.
+  for (const auto& [agent, coeff] : removed_objective_server_) {
+    x[static_cast<std::size_t>(agent)] =
+        std::max(x[static_cast<std::size_t>(agent)], utility / coeff);
+  }
+  return x;
+}
+
+}  // namespace locmm

@@ -1,0 +1,76 @@
+// preprocess.hpp -- degenerate-case handling from the §4 preamble.
+//
+//   "Indeed, isolated constraints can be deleted, isolated objectives force
+//    the optimum of (2) to zero, non-contributing agents can be set to
+//    zero, and unconstrained agents can be set to +infinity."
+//
+// MaxMinInstance::validate() deliberately rejects these shapes; this module
+// is the missing front door.  It takes a *raw* instance description and
+// iterates the four rules to a fixpoint:
+//   * empty constraint rows are dropped;
+//   * an empty objective row pins the optimum to zero (the result is
+//     decided immediately: x = 0 is optimal);
+//   * agents in no objective are set to zero and removed;
+//   * agents in no constraint make every objective they serve satisfiable
+//     to any level, so those objectives are removed (they can never be the
+//     minimum), and the agent is remembered as *unbounded*;
+// removals cascade (dropping an objective can orphan further agents, which
+// can empty further rows), hence the fixpoint loop.
+//
+// lift() converts a solution of the reduced instance into a solution of the
+// raw system: zeroed agents get 0, and each unbounded agent gets the value
+// required to serve its removed objectives at the achieved utility.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lp/instance.hpp"
+
+namespace locmm {
+
+struct RawInstance {
+  std::int32_t num_agents = 0;
+  std::vector<std::vector<Entry>> constraints;
+  std::vector<std::vector<Entry>> objectives;
+};
+
+class PreprocessResult {
+ public:
+  // True if preprocessing alone settled the problem (see decided_zero()).
+  bool decided() const { return decided_; }
+  // An isolated objective forces omega* = 0 (x = 0 is then optimal).
+  bool decided_zero() const { return decided_; }
+
+  // The validated reduced instance (only when !decided()).
+  const MaxMinInstance& instance() const {
+    LOCMM_CHECK_MSG(!decided_, "instance() on a decided preprocess result");
+    return instance_;
+  }
+
+  // Raw agents whose value may be made arbitrarily large (unconstrained and
+  // contributing); lift() assigns them just enough for `utility`.
+  const std::vector<AgentId>& unbounded_agents() const { return unbounded_; }
+
+  // Maps a solution of instance() (utility `utility`) to the raw agent
+  // space with the same (or better) raw utility.
+  std::vector<double> lift(std::span<const double> x_reduced,
+                           double utility) const;
+
+  friend PreprocessResult preprocess(const RawInstance& raw);
+
+ private:
+  bool decided_ = false;
+  MaxMinInstance instance_;
+  std::int32_t raw_agents_ = 0;
+  std::vector<std::int32_t> reduced_id_;   // raw agent -> reduced id or -1
+  std::vector<AgentId> unbounded_;
+  // For each removed objective: (unbounded agent chosen to serve it, its
+  // coefficient there).  lift() sets the agent to utility / coeff.
+  std::vector<std::pair<AgentId, double>> removed_objective_server_;
+};
+
+PreprocessResult preprocess(const RawInstance& raw);
+
+}  // namespace locmm

@@ -1,0 +1,287 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace locmm {
+
+const char* to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+// Dense tableau state.  Row r stores the current representation of equality
+// row r over all columns plus its rhs; `basis[r]` is the column basic in r.
+// The reduced-cost row `d` satisfies d[j] = c[j] - y . A_j where y are the
+// simplex multipliers of the current basis; optimality at d <= tol.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : b_(rows, 0.0),
+        d_(cols, 0.0),
+        basis_(rows, -1),
+        m_(rows),
+        cols_(cols),
+        a_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t j) { return a_[r * cols_ + j]; }
+  double at(std::size_t r, std::size_t j) const { return a_[r * cols_ + j]; }
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return cols_; }
+
+  std::vector<double> b_;        // current rhs (>= 0 throughout)
+  std::vector<double> d_;        // reduced costs
+  std::vector<std::int32_t> basis_;
+  double value_ = 0.0;           // current objective value
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double piv = at(pr, pc);
+    const double inv = 1.0 / piv;
+    for (std::size_t j = 0; j < cols_; ++j) at(pr, j) *= inv;
+    at(pr, pc) = 1.0;  // exact
+    b_[pr] *= inv;
+
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (f == 0.0) continue;
+      double* row = &a_[r * cols_];
+      const double* prow = &a_[pr * cols_];
+      for (std::size_t j = 0; j < cols_; ++j) row[j] -= f * prow[j];
+      row[pc] = 0.0;  // exact
+      b_[r] -= f * b_[pr];
+      if (b_[r] < 0.0 && b_[r] > -1e-12) b_[r] = 0.0;  // clamp fp dust
+    }
+    const double fd = d_[pc];
+    if (fd != 0.0) {
+      const double* prow = &a_[pr * cols_];
+      for (std::size_t j = 0; j < cols_; ++j) d_[j] -= fd * prow[j];
+      d_[pc] = 0.0;
+      value_ += fd * b_[pr];
+    }
+    basis_[pr] = static_cast<std::int32_t>(pc);
+  }
+
+ private:
+  std::size_t m_;
+  std::size_t cols_;
+  std::vector<double> a_;
+};
+
+struct PricingState {
+  bool bland = false;          // currently using Bland's rule
+  int degenerate_run = 0;      // consecutive degenerate pivots
+};
+
+// One simplex phase: optimise the current d-row.  `allowed[j]` masks columns
+// that may enter (artificials are barred in phase 2).  Returns kOptimal when
+// no improving column remains.
+LpStatus run_phase(Tableau& t, const std::vector<char>& allowed,
+                   const SimplexOptions& opt, std::int64_t max_iters,
+                   std::int64_t& iters, PricingState& pricing) {
+  const double tol = opt.tol;
+  while (true) {
+    // --- entering column ---
+    std::int64_t enter = -1;
+    if (pricing.bland) {
+      for (std::size_t j = 0; j < t.cols(); ++j) {
+        if (allowed[j] && t.d_[j] > tol) {
+          enter = static_cast<std::int64_t>(j);
+          break;
+        }
+      }
+    } else {
+      double best = tol;
+      for (std::size_t j = 0; j < t.cols(); ++j) {
+        if (allowed[j] && t.d_[j] > best) {
+          best = t.d_[j];
+          enter = static_cast<std::int64_t>(j);
+        }
+      }
+    }
+    if (enter < 0) return LpStatus::kOptimal;
+
+    // --- ratio test (leaving row) ---
+    const auto pc = static_cast<std::size_t>(enter);
+    std::int64_t leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      const double a = t.at(r, pc);
+      if (a <= tol) continue;
+      const double ratio = t.b_[r] / a;
+      // Tie-break on the smaller basic column index: combined with Bland's
+      // entering rule this guarantees termination under degeneracy.
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && leave >= 0 &&
+           t.basis_[r] < t.basis_[static_cast<std::size_t>(leave)])) {
+        best_ratio = ratio;
+        leave = static_cast<std::int64_t>(r);
+      }
+    }
+    if (leave < 0) return LpStatus::kUnbounded;
+
+    const bool degenerate = best_ratio <= tol;
+    if (degenerate) {
+      if (++pricing.degenerate_run >= opt.degenerate_switch)
+        pricing.bland = true;
+    } else {
+      pricing.degenerate_run = 0;
+      pricing.bland = false;
+    }
+
+    t.pivot(static_cast<std::size_t>(leave), pc);
+    if (++iters > max_iters) return LpStatus::kIterationLimit;
+  }
+}
+
+}  // namespace
+
+LpResult simplex_solve_max(std::int32_t num_vars,
+                           std::span<const SparseLpRow> rows,
+                           std::span<const double> objective,
+                           const SimplexOptions& options) {
+  LOCMM_CHECK(num_vars >= 0);
+  LOCMM_CHECK(static_cast<std::int32_t>(objective.size()) == num_vars);
+
+  const std::size_t n = static_cast<std::size_t>(num_vars);
+  const std::size_t m = rows.size();
+
+  // Negate rows with negative rhs so b >= 0; remember orientation for the
+  // dual signs.  sigma[r] = +1 (slack e_r) or -1 (surplus -e_r + artificial).
+  std::vector<int> sigma(m, +1);
+  std::vector<std::size_t> artificial_of_row;  // rows needing artificials
+  for (std::size_t r = 0; r < m; ++r) {
+    if (rows[r].rhs < 0.0) {
+      sigma[r] = -1;
+      artificial_of_row.push_back(r);
+    }
+  }
+  const std::size_t num_art = artificial_of_row.size();
+  const std::size_t slack0 = n;
+  const std::size_t art0 = n + m;
+  const std::size_t cols = n + m + num_art;
+
+  Tableau t(m, cols);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double flip = (sigma[r] > 0) ? 1.0 : -1.0;
+    for (const auto& [col, coeff] : rows[r].entries) {
+      LOCMM_CHECK_MSG(col >= 0 && col < num_vars,
+                      "LP row references column " << col << " out of range");
+      t.at(r, static_cast<std::size_t>(col)) += flip * coeff;
+    }
+    t.at(r, slack0 + r) = flip;  // slack (+1) or surplus (-1)
+    t.b_[r] = flip * rows[r].rhs;
+  }
+  for (std::size_t a = 0; a < num_art; ++a) {
+    const std::size_t r = artificial_of_row[a];
+    t.at(r, art0 + a) = 1.0;
+    t.basis_[r] = static_cast<std::int32_t>(art0 + a);
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis_[r] < 0) t.basis_[r] = static_cast<std::int32_t>(slack0 + r);
+  }
+
+  const std::int64_t max_iters =
+      options.max_iters > 0
+          ? options.max_iters
+          : 50 * static_cast<std::int64_t>(m + n) + 10000;
+
+  LpResult result;
+  std::vector<char> allowed(cols, 1);
+
+  // ---- Phase 1: drive artificials to zero ----
+  if (num_art > 0) {
+    // Maximise -(sum of artificials); price out the initially-basic ones.
+    for (std::size_t a = 0; a < num_art; ++a) t.d_[art0 + a] = -1.0;
+    for (std::size_t a = 0; a < num_art; ++a) {
+      const std::size_t r = artificial_of_row[a];
+      // d += 1 * row r (adds back the basic artificial's cost row).
+      for (std::size_t j = 0; j < cols; ++j) t.d_[j] += t.at(r, j);
+      t.value_ -= t.b_[r];  // phase-1 objective starts at -(sum artificials)
+    }
+    // Termination is decided from the basic artificial values directly (see
+    // art_sum below), not from value_, which is rebuilt for phase 2 anyway.
+    PricingState pricing;
+    const LpStatus st =
+        run_phase(t, allowed, options, max_iters, result.iterations, pricing);
+    if (st == LpStatus::kIterationLimit) {
+      result.status = st;
+      return result;
+    }
+    // Infeasible iff some artificial retains positive value.
+    double art_sum = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis_[r] >= static_cast<std::int32_t>(art0)) art_sum += t.b_[r];
+    }
+    if (art_sum > options.tol * 10) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Pivot basic-at-zero artificials out where possible.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis_[r] < static_cast<std::int32_t>(art0)) continue;
+      std::int64_t pc = -1;
+      for (std::size_t j = 0; j < art0; ++j) {
+        if (std::abs(t.at(r, j)) > options.tol * 10) {
+          pc = static_cast<std::int64_t>(j);
+          break;
+        }
+      }
+      if (pc >= 0) t.pivot(r, static_cast<std::size_t>(pc));
+      // else: redundant row; harmless -- the artificial stays basic at 0 and
+      // is barred from re-entering below.
+    }
+    for (std::size_t a = 0; a < num_art; ++a) allowed[art0 + a] = 0;
+  }
+
+  // ---- Phase 2: the real objective ----
+  // Rebuild the reduced-cost row from scratch for the phase-2 costs.
+  std::vector<double> cost(cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) cost[j] = objective[j];
+  std::fill(t.d_.begin(), t.d_.end(), 0.0);
+  t.value_ = 0.0;
+  for (std::size_t j = 0; j < cols; ++j) t.d_[j] = cost[j];
+  for (std::size_t r = 0; r < m; ++r) {
+    const double cb = cost[static_cast<std::size_t>(t.basis_[r])];
+    if (cb == 0.0) continue;
+    for (std::size_t j = 0; j < cols; ++j) t.d_[j] -= cb * t.at(r, j);
+    t.value_ += cb * t.b_[r];
+  }
+
+  PricingState pricing;
+  const LpStatus st =
+      run_phase(t, allowed, options, max_iters, result.iterations, pricing);
+  result.status = st;
+  if (st != LpStatus::kOptimal) return result;
+
+  result.objective = t.value_;
+  result.primal.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto j = static_cast<std::size_t>(t.basis_[r]);
+    if (j < n) result.primal[j] = t.b_[r];
+  }
+  // Dual of equality row r is y'_r = -d[slack_r] * sigma_r... derivation:
+  // d[slack_r] = cost[slack_r] - y' . (initial slack column) = -sigma_r y'_r,
+  // so y'_r = -sigma_r * d[slack_r].  The multiplier of the *original* <=
+  // inequality equals y'_r for sigma=+1 rows and -y'_r for negated rows.
+  result.dual.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double yprime = -static_cast<double>(sigma[r]) * t.d_[slack0 + r];
+    result.dual[r] = (sigma[r] > 0) ? yprime : -yprime;
+  }
+  return result;
+}
+
+}  // namespace locmm

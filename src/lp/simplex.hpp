@@ -1,0 +1,57 @@
+// simplex.hpp -- dense two-phase primal simplex for ground-truth optima.
+//
+// The paper assumes each node can solve a (small) LP exactly (§5.2); we also
+// need the *global* optimum omega* as the denominator of every measured
+// approximation ratio.  This is a from-scratch tableau simplex:
+//   maximise  c . z   subject to  M z <= b,  z >= 0
+// with arbitrary-sign b (phase 1 with artificials when some b < 0),
+// Dantzig pricing with an automatic switch to Bland's rule under degeneracy
+// (anti-cycling), and dual extraction so callers can verify optimality via
+// a duality certificate instead of trusting the solver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace locmm {
+
+enum class LpStatus {
+  kOptimal,
+  kUnbounded,
+  kInfeasible,
+  kIterationLimit,
+};
+
+const char* to_string(LpStatus s);
+
+struct SparseLpRow {
+  std::vector<std::pair<std::int32_t, double>> entries;  // (column, coeff)
+  double rhs = 0.0;
+};
+
+struct SimplexOptions {
+  double tol = 1e-9;            // pivot/feasibility tolerance
+  std::int64_t max_iters = 0;   // 0 = automatic (50*(m+n) + 10000)
+  // After this many consecutive degenerate pivots, switch to Bland's rule
+  // until the objective strictly improves.
+  int degenerate_switch = 64;
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> primal;  // size = num_vars
+  std::vector<double> dual;    // size = num_rows; multipliers of the <= rows
+  std::int64_t iterations = 0;
+};
+
+// Solves max c.z s.t. rows, z >= 0.  `objective` must have size num_vars;
+// row entries must reference columns in [0, num_vars).
+LpResult simplex_solve_max(std::int32_t num_vars,
+                           std::span<const SparseLpRow> rows,
+                           std::span<const double> objective,
+                           const SimplexOptions& options = {});
+
+}  // namespace locmm

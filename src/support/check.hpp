@@ -1,0 +1,55 @@
+// check.hpp -- runtime invariant checking for locmm.
+//
+// LOCMM_CHECK is active in all build types: the library validates its inputs
+// and internal invariants unconditionally (the cost is negligible next to the
+// algorithmic work, and silent corruption of an approximation experiment is
+// far more expensive than a branch).  LOCMM_DCHECK compiles out in NDEBUG
+// builds and is reserved for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace locmm {
+
+// Thrown on any violated precondition or internal invariant.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LOCMM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace locmm
+
+#define LOCMM_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::locmm::detail::check_fail(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define LOCMM_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream locmm_os_;                                      \
+      locmm_os_ << msg;                                                  \
+      ::locmm::detail::check_fail(#expr, __FILE__, __LINE__,             \
+                                  locmm_os_.str());                      \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define LOCMM_DCHECK(expr) ((void)0)
+#else
+#define LOCMM_DCHECK(expr) LOCMM_CHECK(expr)
+#endif

@@ -1,0 +1,56 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace locmm {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  LOCMM_CHECK(n_ > 0);
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  LOCMM_CHECK(n_ > 0);
+  return m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  LOCMM_CHECK(n_ > 0);
+  return min_;
+}
+
+double Accumulator::max() const {
+  LOCMM_CHECK(n_ > 0);
+  return max_;
+}
+
+double quantile(std::vector<double> sample, double q) {
+  LOCMM_CHECK(!sample.empty());
+  LOCMM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+}  // namespace locmm

@@ -1,0 +1,34 @@
+// stats.hpp -- streaming summary statistics for experiment tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace locmm {
+
+// Welford-style streaming accumulator: numerically stable mean/variance,
+// min/max, count.  Used by every bench that aggregates over trials.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact quantile of a sample (linear interpolation between order statistics,
+// the "type 7" definition used by R and NumPy).  q in [0, 1].
+double quantile(std::vector<double> sample, double q);
+
+}  // namespace locmm

@@ -1,0 +1,75 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace locmm {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::columns(std::vector<std::string> names) {
+  LOCMM_CHECK_MSG(rows_.empty(), "columns() must precede rows");
+  columns_ = std::move(names);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  LOCMM_CHECK_MSG(cells.size() == columns_.size(),
+                  "row width " << cells.size() << " != column count "
+                               << columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::note(std::string text) { notes_.push_back(std::move(text)); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& r : rows_) width[c] = std::max(width[c], r[c].size());
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      for (std::size_t p = cells[c].size(); p < width[c]; ++p) os << ' ';
+    }
+    os << " |\n";
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "|-" : "-|-");
+      for (std::size_t p = 0; p < width[c]; ++p) os << '-';
+    }
+    os << "-|\n";
+  };
+
+  if (!columns_.empty()) {
+    emit_rule();
+    emit_row(columns_);
+    emit_rule();
+    for (const auto& r : rows_) emit_row(r);
+    emit_rule();
+  }
+  for (const auto& n : notes_) os << "  note: " << n << "\n";
+  return os.str();
+}
+
+void Table::print() const { std::cout << render() << std::flush; }
+
+std::string Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::cell(const char* s) { return std::string(s); }
+std::string Table::cell(const std::string& s) { return s; }
+
+}  // namespace locmm

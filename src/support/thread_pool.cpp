@@ -1,0 +1,117 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "support/check.hpp"
+
+namespace locmm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t nthreads = workers_.size();
+  if (nthreads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Oversubscribe chunks 4x relative to threads so uneven per-agent work
+  // (view sizes vary) load-balances without a dynamic counter per index.
+  const std::size_t chunks = std::min(n, nthreads * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto shared = std::make_shared<Shared>();
+  std::size_t actual_chunks = 0;
+  for (std::size_t lo = 0; lo < n; lo += chunk_size) ++actual_chunks;
+  shared->remaining.store(actual_chunks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t lo = 0; lo < n; lo += chunk_size) {
+      const std::size_t hi = std::min(lo + chunk_size, n);
+      queue_.push([shared, lo, hi, &body] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(shared->error_mutex);
+          if (!shared->error) shared->error = std::current_exception();
+        }
+        if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> dlock(shared->done_mutex);
+          shared->done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(shared->done_mutex);
+  shared->done_cv.wait(lock, [&] {
+    return shared->remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+ThreadPool& ThreadPool::global(std::size_t threads) {
+  static std::unique_ptr<ThreadPool> pool;
+  static std::mutex m;
+  std::lock_guard<std::mutex> lock(m);
+  if (!pool || (threads != 0 && pool->thread_count() != threads)) {
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *pool;
+}
+
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool::global(threads).parallel_for(n, body);
+}
+
+}  // namespace locmm

@@ -1,0 +1,58 @@
+// thread_pool.hpp -- fixed-size worker pool with a blocking parallel_for.
+//
+// The local algorithm is embarrassingly parallel over agents (each agent's
+// computation reads only its own local view), so the only parallel primitive
+// the library needs is a deterministic-partition parallel loop: the index
+// space [0, n) is split into contiguous chunks, one queue entry per chunk.
+// Results are written to per-index slots by the caller, so the schedule
+// cannot affect the output -- a requirement for the reproducibility tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace locmm {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Runs body(i) for every i in [0, n); blocks until all complete.
+  // Exceptions thrown by body are captured and the first one is rethrown
+  // on the calling thread after the loop drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // Process-wide pool, created on first use.  `threads` is honoured only by
+  // the first call; later calls with a different request recreate the pool
+  // (benches use this to sweep thread counts).
+  static ThreadPool& global(std::size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over the global pool.  threads == 1 runs inline on the
+// calling thread (no pool involvement), which keeps single-thread timings
+// honest in the scaling benches.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace locmm

@@ -1,0 +1,98 @@
+// §4.2: augment singleton constraints.
+//
+// Every constraint i with |Vi| = 1 is completed to degree 2 by attaching a
+// six-node gadget: agents s, t, u, objectives h, l, constraint j, wired as
+// the cycle s-h-t-j-u-l-s, with s also joining the original constraint i.
+// The objective coefficients c_ht = c_lu = M are chosen so large (twice an
+// upper bound on any achievable utility, computed from an objective k
+// adjacent to the original agent) that setting x_t = x_u = 1/2, x_s = 0
+// satisfies the gadget objectives at value >= optimum; hence the optimum is
+// unchanged and any approximation ratio is preserved.
+#include <algorithm>
+#include <limits>
+
+#include "transform/transform.hpp"
+
+namespace locmm {
+
+TransformStep augment_singleton_constraints(const MaxMinInstance& in) {
+  TransformStep step;
+  step.name = "§4.2 augment singleton constraints";
+  step.ratio_factor = 1.0;
+
+  const std::int32_t n0 = in.num_agents();
+  InstanceBuilder b(n0);
+
+  // Copy all objective rows verbatim first (original objectives keep their
+  // ids; gadget objectives are appended).  Constraint rows are rebuilt so
+  // that the modified row for each singleton constraint lands at the
+  // original row position (the gadget edge is appended as the *last* port of
+  // i, matching the paper's "the edge {i, s} ... is the last edge").
+  // Per-agent upper-bound cache: min_{i in Iv} 1/a_iv.
+  std::vector<double> inv_cap(static_cast<std::size_t>(n0),
+                              std::numeric_limits<double>::infinity());
+  for (AgentId v = 0; v < n0; ++v) {
+    for (const Incidence& inc : in.agent_constraints(v)) {
+      inv_cap[static_cast<std::size_t>(v)] =
+          std::min(inv_cap[static_cast<std::size_t>(v)], 1.0 / inc.coeff);
+    }
+  }
+
+  struct Gadget {
+    ConstraintId i;
+    AgentId s, t, u;
+    double big;  // M = 2 * sum_{w in Vk} c_kw min_{i' in Iw} 1/a_i'w
+  };
+  std::vector<Gadget> gadgets;
+  for (ConstraintId i = 0; i < in.num_constraints(); ++i) {
+    if (in.constraint_row(i).size() != 1) continue;
+    const AgentId v = in.constraint_row(i)[0].agent;
+    // k = the first objective adjacent to v (port order => deterministic).
+    LOCMM_CHECK(!in.agent_objectives(v).empty());
+    const ObjectiveId k = in.agent_objectives(v)[0].row;
+    double bound = 0.0;
+    for (const Entry& e : in.objective_row(k))
+      bound += e.coeff * inv_cap[static_cast<std::size_t>(e.agent)];
+    Gadget gd;
+    gd.i = i;
+    gd.s = b.add_agent();
+    gd.t = b.add_agent();
+    gd.u = b.add_agent();
+    gd.big = 2.0 * bound;
+    gadgets.push_back(gd);
+  }
+
+  // Constraint rows.
+  std::size_t gi = 0;
+  for (ConstraintId i = 0; i < in.num_constraints(); ++i) {
+    auto row = in.constraint_row(i);
+    std::vector<Entry> out(row.begin(), row.end());
+    if (gi < gadgets.size() && gadgets[gi].i == i) {
+      out.push_back({gadgets[gi].s, 1.0});  // a_is = 1, last port of i
+      ++gi;
+    }
+    b.add_constraint(std::move(out));
+  }
+  for (const Gadget& gd : gadgets) {
+    b.add_constraint({{gd.t, 1.0}, {gd.u, 1.0}});  // j: a_jt = a_ju = 1
+  }
+
+  // Objective rows: originals verbatim, then h and l per gadget.
+  for (ObjectiveId k = 0; k < in.num_objectives(); ++k) {
+    auto row = in.objective_row(k);
+    b.add_objective(std::vector<Entry>(row.begin(), row.end()));
+  }
+  for (const Gadget& gd : gadgets) {
+    b.add_objective({{gd.s, 1.0}, {gd.t, gd.big}});  // h
+    b.add_objective({{gd.s, 1.0}, {gd.u, gd.big}});  // l
+  }
+
+  step.instance = b.build();
+  step.back = [n0](std::span<const double> xp) {
+    LOCMM_CHECK(static_cast<std::int32_t>(xp.size()) >= n0);
+    return std::vector<double>(xp.begin(), xp.begin() + n0);
+  };
+  return step;
+}
+
+}  // namespace locmm

@@ -1,0 +1,87 @@
+// §4.5: augment singleton objectives.
+//
+// Every objective k with |Vk| = 1 has its unique agent v split into two
+// halves t, u with c_kt = c_ku = c_kv / 2, and each constraint mentioning
+// split agents is replicated over the cartesian product of the halves.  The
+// optimum is preserved (halves can be equalised to their maximum, as every
+// combination has its own constraint replica).  Requires |Kv| == 1 (§4.4).
+#include <vector>
+
+#include "transform/transform.hpp"
+
+namespace locmm {
+
+TransformStep augment_singleton_objectives(const MaxMinInstance& in) {
+  TransformStep step;
+  step.name = "§4.5 augment singleton objectives";
+  step.ratio_factor = 1.0;
+
+  const std::int32_t n0 = in.num_agents();
+  InstanceBuilder b;
+
+  // halves_of[v]: {v'} for unsplit agents, {t, u} for split ones.
+  std::vector<std::vector<AgentId>> halves_of(static_cast<std::size_t>(n0));
+  for (AgentId v = 0; v < n0; ++v) {
+    const auto kv = in.agent_objectives(v);
+    LOCMM_CHECK_MSG(kv.size() == 1,
+                    "agent " << v << " has |Kv| = " << kv.size()
+                             << "; run §4.4 first");
+    const bool split = in.objective_row(kv[0].row).size() == 1;
+    auto& halves = halves_of[static_cast<std::size_t>(v)];
+    halves.push_back(b.add_agent());
+    if (split) halves.push_back(b.add_agent());
+  }
+
+  for (ConstraintId i = 0; i < in.num_constraints(); ++i) {
+    const auto row = in.constraint_row(i);
+    std::vector<std::size_t> idx(row.size(), 0);
+    for (;;) {
+      std::vector<Entry> out;
+      out.reserve(row.size());
+      for (std::size_t p = 0; p < row.size(); ++p) {
+        const auto& halves = halves_of[static_cast<std::size_t>(row[p].agent)];
+        out.push_back({halves[idx[p]], row[p].coeff});
+      }
+      b.add_constraint(std::move(out));
+      std::size_t p = 0;
+      while (p < row.size()) {
+        const auto& halves = halves_of[static_cast<std::size_t>(row[p].agent)];
+        if (++idx[p] < halves.size()) break;
+        idx[p] = 0;
+        ++p;
+      }
+      if (p == row.size()) break;
+    }
+  }
+
+  for (ObjectiveId k = 0; k < in.num_objectives(); ++k) {
+    const auto row = in.objective_row(k);
+    std::vector<Entry> out;
+    for (const Entry& e : in.objective_row(k)) {
+      const auto& halves = halves_of[static_cast<std::size_t>(e.agent)];
+      if (halves.size() == 1) {
+        out.push_back({halves[0], e.coeff});
+      } else {
+        LOCMM_CHECK(row.size() == 1);  // only singleton objectives split
+        out.push_back({halves[0], e.coeff / 2.0});
+        out.push_back({halves[1], e.coeff / 2.0});
+      }
+    }
+    b.add_objective(std::move(out));
+  }
+
+  step.instance = b.build();
+  step.back = [halves_of = std::move(halves_of)](std::span<const double> xp) {
+    std::vector<double> x(halves_of.size(), 0.0);
+    for (std::size_t v = 0; v < halves_of.size(); ++v) {
+      double best = 0.0;
+      for (AgentId c : halves_of[v])
+        best = std::max(best, xp[static_cast<std::size_t>(c)]);
+      x[v] = best;
+    }
+    return x;
+  };
+  return step;
+}
+
+}  // namespace locmm

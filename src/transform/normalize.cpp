@@ -1,0 +1,52 @@
+// §4.6: normalise objective coefficients to 1.
+//
+// With |Kv| = 1 (§4.4), each agent v has a unique objective k(v); dividing
+// both a_iv and c_k(v)v by gamma_v = c_k(v)v rescales the variable to
+// x'_v = gamma_v x_v, making every objective coefficient 1 while preserving
+// the graph, the port numbering, the feasible region (after rescaling) and
+// the optimum.  Mapping back divides by gamma_v.
+#include <vector>
+
+#include "transform/transform.hpp"
+
+namespace locmm {
+
+TransformStep normalize_objective_coeffs(const MaxMinInstance& in) {
+  TransformStep step;
+  step.name = "§4.6 normalize objective coefficients";
+  step.ratio_factor = 1.0;
+
+  const std::int32_t n = in.num_agents();
+  std::vector<double> gamma(static_cast<std::size_t>(n), 1.0);
+  for (AgentId v = 0; v < n; ++v) {
+    const auto kv = in.agent_objectives(v);
+    LOCMM_CHECK_MSG(kv.size() == 1,
+                    "agent " << v << " has |Kv| = " << kv.size()
+                             << "; run §4.4 first");
+    gamma[static_cast<std::size_t>(v)] = kv[0].coeff;
+  }
+
+  InstanceBuilder b(n);
+  for (ConstraintId i = 0; i < in.num_constraints(); ++i) {
+    std::vector<Entry> out;
+    for (const Entry& e : in.constraint_row(i))
+      out.push_back({e.agent, e.coeff / gamma[static_cast<std::size_t>(e.agent)]});
+    b.add_constraint(std::move(out));
+  }
+  for (ObjectiveId k = 0; k < in.num_objectives(); ++k) {
+    std::vector<Entry> out;
+    for (const Entry& e : in.objective_row(k)) out.push_back({e.agent, 1.0});
+    b.add_objective(std::move(out));
+  }
+
+  step.instance = b.build();
+  step.back = [gamma = std::move(gamma)](std::span<const double> xp) {
+    LOCMM_CHECK(xp.size() == gamma.size());
+    std::vector<double> x(xp.size());
+    for (std::size_t v = 0; v < xp.size(); ++v) x[v] = xp[v] / gamma[v];
+    return x;
+  };
+  return step;
+}
+
+}  // namespace locmm

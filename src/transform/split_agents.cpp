@@ -1,0 +1,93 @@
+// §4.4: associate a unique objective with each agent.
+//
+// Every agent v with |Kv| > 1 becomes |Kv| copies, one per incident
+// objective; every constraint mentioning split agents is replicated over the
+// cartesian product of its members' copies (applying the paper's per-agent
+// replacement to all agents simultaneously).  The optimum is preserved: any
+// solution of the original lifts by duplication, and conversely the copies
+// of v can be equalised to their maximum without violating anything, since
+// every combination of copies has its own constraint replica.
+#include <vector>
+
+#include "transform/transform.hpp"
+
+namespace locmm {
+
+TransformStep split_agents_per_objective(const MaxMinInstance& in) {
+  TransformStep step;
+  step.name = "§4.4 split agents per objective";
+  step.ratio_factor = 1.0;
+
+  const std::int32_t n0 = in.num_agents();
+  InstanceBuilder b;
+
+  // copies_of[v][j] = id of the copy of v associated with v's j-th
+  // objective port.  Agents with |Kv| == 1 keep a single copy.
+  std::vector<std::vector<AgentId>> copies_of(static_cast<std::size_t>(n0));
+  for (AgentId v = 0; v < n0; ++v) {
+    const auto kv = in.agent_objectives(v);
+    LOCMM_CHECK_MSG(!kv.empty(), "agent " << v << " has no objective");
+    auto& copies = copies_of[static_cast<std::size_t>(v)];
+    copies.resize(kv.size());
+    for (std::size_t j = 0; j < kv.size(); ++j) copies[j] = b.add_agent();
+  }
+
+  // Constraints: cartesian product over members' copies (odometer).
+  for (ConstraintId i = 0; i < in.num_constraints(); ++i) {
+    const auto row = in.constraint_row(i);
+    std::vector<std::size_t> idx(row.size(), 0);
+    for (;;) {
+      std::vector<Entry> out;
+      out.reserve(row.size());
+      for (std::size_t p = 0; p < row.size(); ++p) {
+        const auto& copies = copies_of[static_cast<std::size_t>(row[p].agent)];
+        out.push_back({copies[idx[p]], row[p].coeff});
+      }
+      b.add_constraint(std::move(out));
+      // Advance the odometer.
+      std::size_t p = 0;
+      while (p < row.size()) {
+        const auto& copies = copies_of[static_cast<std::size_t>(row[p].agent)];
+        if (++idx[p] < copies.size()) break;
+        idx[p] = 0;
+        ++p;
+      }
+      if (p == row.size()) break;
+    }
+  }
+
+  // Objectives: each original row keeps its coefficients, with every member
+  // replaced by the copy associated with this objective.
+  for (ObjectiveId k = 0; k < in.num_objectives(); ++k) {
+    std::vector<Entry> out;
+    for (const Entry& e : in.objective_row(k)) {
+      const auto kv = in.agent_objectives(e.agent);
+      AgentId copy = -1;
+      for (std::size_t j = 0; j < kv.size(); ++j) {
+        if (kv[j].row == k) {
+          copy = copies_of[static_cast<std::size_t>(e.agent)][j];
+          break;
+        }
+      }
+      LOCMM_CHECK_MSG(copy >= 0, "inconsistent incidence for agent "
+                                     << e.agent << " objective " << k);
+      out.push_back({copy, e.coeff});
+    }
+    b.add_objective(std::move(out));
+  }
+
+  step.instance = b.build();
+  step.back = [copies_of = std::move(copies_of)](std::span<const double> xp) {
+    std::vector<double> x(copies_of.size(), 0.0);
+    for (std::size_t v = 0; v < copies_of.size(); ++v) {
+      double best = 0.0;
+      for (AgentId c : copies_of[v])
+        best = std::max(best, xp[static_cast<std::size_t>(c)]);
+      x[v] = best;
+    }
+    return x;
+  };
+  return step;
+}
+
+}  // namespace locmm

@@ -1,0 +1,65 @@
+// §4.3: reduce constraint degree to exactly 2.
+//
+// Every constraint i with |Vi| > 2 is replaced by the C(|Vi|, 2) pairwise
+// constraints a_iu x_u + a_iv x_v <= 1.  Mapping back divides each agent's
+// value by max_{i in Iv} |Vi| / 2 (paper eq. (4)); the step costs a factor
+// delta_I / 2 in the approximation ratio -- the only lossy step of the
+// pipeline, and the source of the delta_I term in Theorem 1.
+#include <algorithm>
+
+#include "transform/transform.hpp"
+
+namespace locmm {
+
+TransformStep reduce_constraint_degree(const MaxMinInstance& in) {
+  TransformStep step;
+  step.name = "§4.3 reduce constraint degree";
+
+  const std::int32_t n = in.num_agents();
+  InstanceBuilder b(n);
+
+  std::int32_t delta_i = 2;
+  for (ConstraintId i = 0; i < in.num_constraints(); ++i) {
+    const auto row = in.constraint_row(i);
+    LOCMM_CHECK_MSG(row.size() >= 2,
+                    "constraint " << i << " has degree " << row.size()
+                                  << "; run §4.2 first");
+    delta_i = std::max(delta_i, static_cast<std::int32_t>(row.size()));
+    if (row.size() == 2) {
+      b.add_constraint(std::vector<Entry>(row.begin(), row.end()));
+    } else {
+      for (std::size_t p = 0; p < row.size(); ++p) {
+        for (std::size_t q = p + 1; q < row.size(); ++q) {
+          b.add_constraint({row[p], row[q]});
+        }
+      }
+    }
+  }
+  for (ObjectiveId k = 0; k < in.num_objectives(); ++k) {
+    auto row = in.objective_row(k);
+    b.add_objective(std::vector<Entry>(row.begin(), row.end()));
+  }
+
+  // Per-agent divisor: max_{i in Iv} |Vi| (>= 2 after §4.2).
+  std::vector<double> divisor(static_cast<std::size_t>(n), 2.0);
+  for (AgentId v = 0; v < n; ++v) {
+    for (const Incidence& inc : in.agent_constraints(v)) {
+      divisor[static_cast<std::size_t>(v)] = std::max(
+          divisor[static_cast<std::size_t>(v)],
+          static_cast<double>(in.constraint_row(inc.row).size()));
+    }
+  }
+
+  step.instance = b.build();
+  step.ratio_factor = static_cast<double>(delta_i) / 2.0;
+  step.back = [divisor = std::move(divisor)](std::span<const double> xp) {
+    LOCMM_CHECK(xp.size() == divisor.size());
+    std::vector<double> x(xp.size());
+    for (std::size_t v = 0; v < xp.size(); ++v)
+      x[v] = 2.0 * xp[v] / divisor[v];
+    return x;
+  };
+  return step;
+}
+
+}  // namespace locmm

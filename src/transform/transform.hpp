@@ -1,0 +1,63 @@
+// transform.hpp -- the local transformations of paper §4.
+//
+// Five rewrites reduce an arbitrary max-min LP to the *special form* required
+// by the §5 algorithm:
+//   §4.2 augment_singleton_constraints : |Vi| >= 2 afterwards (cycle gadget)
+//   §4.3 reduce_constraint_degree      : |Vi| == 2 afterwards (pairwise rows;
+//                                        costs a factor delta_I/2)
+//   §4.4 split_agents_per_objective    : |Kv| == 1 afterwards (agent copies)
+//   §4.5 augment_singleton_objectives  : |Vk| >= 2 afterwards (agent halves)
+//   §4.6 normalize_objective_coeffs    : c_kv == 1 afterwards (rescale x)
+//
+// Each step returns the rewritten instance plus a *back-map* taking any
+// feasible solution of the rewritten instance to a feasible solution of the
+// input instance, with the utility accounting of the paper (§4: "description,
+// mapping back, implications to approximability").  The steps are local
+// rewrites in the sense of §4.1 -- each output row depends only on a
+// constant-radius neighbourhood of the input -- which we realise here as
+// whole-instance passes with deterministic output order.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lp/instance.hpp"
+
+namespace locmm {
+
+using BackMap = std::function<std::vector<double>(std::span<const double>)>;
+
+struct TransformStep {
+  std::string name;
+  MaxMinInstance instance;   // rewritten instance
+  BackMap back;              // solution of `instance` -> solution of input
+  double ratio_factor = 1.0; // approximation-ratio multiplier of this step
+};
+
+TransformStep augment_singleton_constraints(const MaxMinInstance& in);  // §4.2
+TransformStep reduce_constraint_degree(const MaxMinInstance& in);       // §4.3
+TransformStep split_agents_per_objective(const MaxMinInstance& in);     // §4.4
+TransformStep augment_singleton_objectives(const MaxMinInstance& in);   // §4.5
+TransformStep normalize_objective_coeffs(const MaxMinInstance& in);     // §4.6
+
+// The composed pipeline §4.2 -> §4.6.
+struct Pipeline {
+  MaxMinInstance special;            // final special-form instance
+  std::vector<TransformStep> steps;  // in application order
+  double ratio_factor = 1.0;         // product of step factors (= delta_I/2)
+
+  // Maps a solution of `special` back to the original instance.
+  std::vector<double> map_back(std::span<const double> x_special) const;
+};
+
+Pipeline to_special_form(const MaxMinInstance& in);
+
+// Checks the §5 preconditions: |Vi| == 2, |Vk| >= 2, |Kv| == 1, |Iv| >= 1,
+// c_kv == 1 (within tol).  Throws CheckError describing the first violation.
+void check_special_form(const MaxMinInstance& inst, double tol = 1e-12);
+
+bool is_special_form(const MaxMinInstance& inst, double tol = 1e-12);
+
+}  // namespace locmm

@@ -1,0 +1,117 @@
+// Tests for explicit alternating trees: structure (Lemma 1), exact-LP t_u
+// versus the production bisection (§5.2's two routes to the same number),
+// and Lemma 3's extreme-point bounds on optimal solutions of A_u.
+#include <gtest/gtest.h>
+
+#include "core/alt_tree.hpp"
+#include "gen/generators.hpp"
+#include "lp/maxmin_solver.hpp"
+
+namespace locmm {
+namespace {
+
+MaxMinInstance pair_instance() {
+  InstanceBuilder b(2);
+  b.add_constraint({{0, 1.0}, {1, 1.0}});
+  b.add_objective({{0, 1.0}, {1, 1.0}});
+  return b.build();
+}
+
+TEST(AltTree, PairInstanceShape) {
+  const SpecialFormInstance sf(pair_instance());
+  const AltTree tree = build_alternating_tree(sf, 0, 0);
+  // Root (minus) + one sibling (plus); constraints: root leaf + sibling
+  // leaf; one objective.
+  EXPECT_EQ(tree.instance.num_agents(), 2);
+  EXPECT_EQ(tree.instance.num_constraints(), 2);
+  EXPECT_EQ(tree.instance.num_objectives(), 1);
+  EXPECT_EQ(tree.copies[0].origin, 0);
+  EXPECT_FALSE(tree.copies[0].plus);
+  EXPECT_EQ(tree.copies[1].origin, 1);
+  EXPECT_TRUE(tree.copies[1].plus);
+  // Optimum of A_u: both capacities relaxed to leaves -> 2.
+  const MaxMinLpResult res = solve_lp_optimum(tree.instance);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.omega, 2.0, 1e-9);
+}
+
+TEST(AltTree, CopiesRepeatAcrossPaths) {
+  // On a cycle-like wheel, deeper trees revisit G-agents as fresh copies.
+  const MaxMinInstance inst = layered_instance(
+      {.delta_k = 2, .layers = 2, .width = 1, .twist = 0});
+  const SpecialFormInstance sf(inst);
+  const AltTree tree = build_alternating_tree(sf, 0, 2);
+  EXPECT_GT(tree.instance.num_agents(), inst.num_agents());
+}
+
+class ExactVsBisection : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsBisection, LpAndBisectionAgree) {
+  RandomSpecialParams p;
+  p.num_agents = 12;
+  p.delta_k = 3;
+  const MaxMinInstance inst = random_special_form(p, GetParam());
+  const SpecialFormInstance sf(inst);
+  for (std::int32_t r : {0, 1}) {
+    for (AgentId u = 0; u < inst.num_agents(); u += 3) {
+      const double lp = t_exact_lp(sf, u, r);
+      const double bisect = compute_t_single(sf, u, r);
+      EXPECT_NEAR(lp, bisect, 1e-6) << "u=" << u << " r=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBisection,
+                         ::testing::Values(201, 202, 203, 204, 205));
+
+TEST(AltTree, Lemma3ExtremePointBounds) {
+  // Any optimal solution x of the A_u LP satisfies
+  //   x_v <= f+_{v,d}(omega*)  at plus positions,
+  //   x_v >= f-_{v,d}(omega*)  at minus positions (paper (10)-(11)).
+  RandomSpecialParams p;
+  p.num_agents = 14;
+  const MaxMinInstance inst = random_special_form(p, 210);
+  const SpecialFormInstance sf(inst);
+  const std::int32_t r = 1;
+  for (AgentId u = 0; u < inst.num_agents(); u += 4) {
+    const AltTree tree = build_alternating_tree(sf, u, r);
+    const MaxMinLpResult res = solve_lp_optimum(tree.instance);
+    ASSERT_EQ(res.status, LpStatus::kOptimal);
+    const FTables ft = evaluate_f_global(sf, r, res.omega);
+    for (std::size_t c = 0; c < tree.copies.size(); ++c) {
+      const CopyInfo& info = tree.copies[c];
+      const double xc = res.x[c];
+      if (info.plus) {
+        EXPECT_LE(xc, ft.plus[info.d][info.origin] + 1e-6)
+            << "copy " << c << " of agent " << info.origin;
+      } else {
+        EXPECT_GE(xc, ft.minus[info.d][info.origin] - 1e-6)
+            << "copy " << c << " of agent " << info.origin;
+      }
+    }
+  }
+}
+
+TEST(AltTree, TreeOptimumUpperBoundsGraphOptimum) {
+  // Lemma 2 verbatim: opt(A_u) >= opt(G), via the exact LP route.
+  RandomSpecialParams p;
+  p.num_agents = 12;
+  const MaxMinInstance inst = random_special_form(p, 211);
+  const SpecialFormInstance sf(inst);
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  ASSERT_EQ(opt.status, LpStatus::kOptimal);
+  for (AgentId u = 0; u < inst.num_agents(); u += 2) {
+    EXPECT_GE(t_exact_lp(sf, u, 1), opt.omega - 1e-7);
+  }
+}
+
+TEST(AltTree, CopyGuardTrips) {
+  const MaxMinInstance inst = layered_instance(
+      {.delta_k = 4, .layers = 4, .width = 3, .twist = 1});
+  const SpecialFormInstance sf(inst);
+  EXPECT_THROW(build_alternating_tree(sf, 0, 6, /*max_copies=*/50),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace locmm

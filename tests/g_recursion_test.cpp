@@ -1,0 +1,191 @@
+// Tests for smoothing (§5.3) and the g recursion: the BFS-min reference for
+// s, and the paper's Lemmata 5-7 as executable properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/g_recursion.hpp"
+#include "core/smoothing.hpp"
+#include "core/special_form.hpp"
+#include "core/upper_bound.hpp"
+#include "gen/generators.hpp"
+#include "graph/comm_graph.hpp"
+
+namespace locmm {
+namespace {
+
+struct GFixture {
+  MaxMinInstance inst;
+  std::int32_t r;
+  std::vector<double> t;
+  std::vector<double> s;
+  GTables g;
+
+  GFixture(MaxMinInstance in, std::int32_t rr)
+      : inst(std::move(in)), r(rr) {
+    const SpecialFormInstance sf(inst);
+    t = compute_t_all(sf, r);
+    s = smooth_min(sf, t, r);
+    g = compute_g(sf, s, r);
+  }
+};
+
+TEST(Smoothing, MatchesBfsMinReference) {
+  RandomSpecialParams p;
+  p.num_agents = 24;
+  const MaxMinInstance inst = random_special_form(p, 8);
+  const SpecialFormInstance sf(inst);
+  const CommGraph cg(inst);
+  for (std::int32_t r : {0, 1, 2}) {
+    const std::vector<double> t = compute_t_all(sf, r);
+    const std::vector<double> s = smooth_min(sf, t, r);
+    for (AgentId v = 0; v < inst.num_agents(); ++v) {
+      // Reference: min of t over agents within graph distance 4r+2.
+      const auto dist = cg.bfs_distances(cg.agent_node(v), 4 * r + 2);
+      double ref = std::numeric_limits<double>::infinity();
+      for (AgentId u = 0; u < inst.num_agents(); ++u)
+        if (dist[cg.agent_node(u)] >= 0) ref = std::min(ref, t[u]);
+      EXPECT_DOUBLE_EQ(s[v], ref) << "v=" << v << " r=" << r;
+    }
+  }
+}
+
+TEST(Smoothing, SIsBelowOwnT) {
+  RandomSpecialParams p;
+  p.num_agents = 30;
+  const MaxMinInstance inst = random_special_form(p, 9);
+  const SpecialFormInstance sf(inst);
+  const std::vector<double> t = compute_t_all(sf, 1);
+  const std::vector<double> s = smooth_min(sf, t, 1);
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    EXPECT_LE(s[v], t[v]);
+    EXPECT_GE(s[v], 0.0);
+  }
+}
+
+class Lemmata : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemmata, Lemma5BoundaryBounds) {
+  RandomSpecialParams p;
+  p.num_agents = 20;
+  p.delta_k = 4;
+  GFixture su(random_special_form(p, GetParam()), 2);
+  const SpecialFormInstance sf(su.inst);
+  for (AgentId v = 0; v < su.inst.num_agents(); ++v) {
+    EXPECT_GE(su.g.plus[su.r][v], -1e-12) << "g+_{v,r} >= 0";
+    EXPECT_LE(su.g.minus[su.r][v], sf.inv_cap(v) + 1e-9)
+        << "g-_{v,r} <= min_i 1/a_iv";
+  }
+}
+
+TEST_P(Lemmata, Lemma6Monotonicity) {
+  RandomSpecialParams p;
+  p.num_agents = 20;
+  GFixture su(random_special_form(p, GetParam()), 3);
+  for (std::int32_t d = 1; d <= su.r; ++d) {
+    for (AgentId v = 0; v < su.inst.num_agents(); ++v) {
+      EXPECT_LE(su.g.minus[d - 1][v], su.g.minus[d][v] + 1e-12);
+      EXPECT_GE(su.g.plus[d - 1][v], su.g.plus[d][v] - 1e-12);
+    }
+  }
+}
+
+TEST_P(Lemmata, Lemma7GPlusNonNegative) {
+  RandomSpecialParams p;
+  p.num_agents = 20;
+  GFixture su(random_special_form(p, GetParam()), 3);
+  for (std::int32_t d = 0; d <= su.r; ++d)
+    for (AgentId v = 0; v < su.inst.num_agents(); ++v)
+      EXPECT_GE(su.g.plus[d][v], -1e-12) << "d=" << d << " v=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemmata,
+                         ::testing::Values(61, 62, 63, 64, 65, 66));
+
+TEST(GRecursion, OutputFormula) {
+  RandomSpecialParams p;
+  p.num_agents = 12;
+  GFixture su(random_special_form(p, 71), 1);
+  const std::vector<double> x = output_x(su.g, su.r);
+  const double R = su.r + 2;
+  for (AgentId v = 0; v < su.inst.num_agents(); ++v) {
+    double sum = 0.0;
+    for (std::int32_t d = 0; d <= su.r; ++d)
+      sum += su.g.plus[d][v] + su.g.minus[d][v];
+    EXPECT_DOUBLE_EQ(x[v], sum / (2.0 * R));
+    EXPECT_GE(x[v], 0.0);
+  }
+}
+
+TEST(GRecursion, GPlusAtDepthZeroIsCapacity) {
+  RandomSpecialParams p;
+  p.num_agents = 12;
+  const MaxMinInstance inst = random_special_form(p, 72);
+  const SpecialFormInstance sf(inst);
+  GFixture su(inst, 2);
+  for (AgentId v = 0; v < inst.num_agents(); ++v)
+    EXPECT_DOUBLE_EQ(su.g.plus[0][v], sf.inv_cap(v));
+}
+
+TEST(GRecursion, Lemma4GBracketsFAtTu) {
+  // Lemma 4: for every root u and every state (v, d) in A_u's level sets,
+  //   g-_{v,d} <= f-_{u,v,d}(t_u)   and   f+_{u,v,d}(t_u) <= g+_{v,d}.
+  RandomSpecialParams p;
+  p.num_agents = 16;
+  const MaxMinInstance inst = random_special_form(p, 74);
+  const SpecialFormInstance sf(inst);
+  const std::int32_t r = 2;
+  GFixture su(inst, r);
+
+  for (AgentId u = 0; u < inst.num_agents(); u += 2) {
+    // Reach set of (u, r, minus) under the recursion's dependencies.
+    std::set<std::tuple<AgentId, std::int32_t, bool>> reach;
+    std::vector<std::tuple<AgentId, std::int32_t, bool>> stack{{u, r, false}};
+    while (!stack.empty()) {
+      auto [v, d, plus] = stack.back();
+      stack.pop_back();
+      if (!reach.insert({v, d, plus}).second) continue;
+      if (plus) {
+        if (d > 0)
+          for (const ConstraintArc& arc : sf.arcs(v))
+            stack.push_back({arc.partner, d - 1, false});
+      } else {
+        for (AgentId w : sf.siblings(v)) stack.push_back({w, d, true});
+      }
+    }
+    const FTables ft = evaluate_f_global(sf, r, su.t[u]);
+    for (const auto& [v, d, plus] : reach) {
+      if (plus) {
+        EXPECT_LE(ft.plus[d][v], su.g.plus[d][v] + 1e-9)
+            << "u=" << u << " v=" << v << " d=" << d;
+      } else {
+        EXPECT_LE(su.g.minus[d][v], ft.minus[d][v] + 1e-9)
+            << "u=" << u << " v=" << v << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(GRecursion, ConstraintSlackIdentity) {
+  // The heart of Lemma 9's feasibility case d < R-2: for every constraint
+  // {v, w}, a_v g+_{v,d} + a_w g-_{w,d-1} <= 1.
+  RandomSpecialParams p;
+  p.num_agents = 18;
+  const MaxMinInstance inst = random_special_form(p, 73);
+  const SpecialFormInstance sf(inst);
+  GFixture su(inst, 3);
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    for (const ConstraintArc& arc : sf.arcs(v)) {
+      for (std::int32_t d = 1; d <= su.r; ++d) {
+        EXPECT_LE(arc.a_self * su.g.plus[d][v] +
+                      arc.a_partner * su.g.minus[d - 1][arc.partner],
+                  1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace locmm

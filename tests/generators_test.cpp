@@ -1,0 +1,220 @@
+// Tests for the workload generators: validity, degree bounds, determinism,
+// connectivity, special-form guarantees, family-specific structure.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "transform/transform.hpp"
+
+namespace locmm {
+namespace {
+
+TEST(RandomGeneral, RespectsDegreeBoundsAndConnectivity) {
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    RandomGeneralParams p;
+    p.num_agents = 50;
+    p.delta_i = 4;
+    p.delta_k = 3;
+    const MaxMinInstance inst = random_general(p, seed);
+    const InstanceStats s = inst.stats();
+    EXPECT_EQ(s.agents, 50);
+    EXPECT_LE(s.delta_i, 4);
+    EXPECT_LE(s.delta_k, 3);
+    EXPECT_TRUE(inst.connected());
+  }
+}
+
+TEST(RandomGeneral, DeterministicInSeed) {
+  RandomGeneralParams p;
+  const MaxMinInstance a = random_general(p, 42);
+  const MaxMinInstance b = random_general(p, 42);
+  EXPECT_EQ(describe(a), describe(b));
+  ASSERT_EQ(a.num_constraints(), b.num_constraints());
+  for (ConstraintId i = 0; i < a.num_constraints(); ++i) {
+    const auto ra = a.constraint_row(i);
+    const auto rb = b.constraint_row(i);
+    ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()));
+  }
+}
+
+TEST(RandomGeneral, SeedsProduceDistinctInstances) {
+  RandomGeneralParams p;
+  const MaxMinInstance a = random_general(p, 1);
+  const MaxMinInstance b = random_general(p, 2);
+  bool differ = a.num_constraints() != b.num_constraints();
+  if (!differ) {
+    for (ConstraintId i = 0; i < a.num_constraints() && !differ; ++i) {
+      const auto ra = a.constraint_row(i);
+      const auto rb = b.constraint_row(i);
+      differ = !std::equal(ra.begin(), ra.end(), rb.begin(), rb.end());
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RandomGeneral, UnitCoefficientsMode) {
+  RandomGeneralParams p;
+  p.unit_coefficients = true;
+  const MaxMinInstance inst = random_general(p, 7);
+  for (ConstraintId i = 0; i < inst.num_constraints(); ++i)
+    for (const Entry& e : inst.constraint_row(i))
+      EXPECT_DOUBLE_EQ(e.coeff, 1.0);
+  for (ObjectiveId k = 0; k < inst.num_objectives(); ++k)
+    for (const Entry& e : inst.objective_row(k))
+      EXPECT_DOUBLE_EQ(e.coeff, 1.0);
+}
+
+TEST(RandomSpecialForm, IsSpecialForm) {
+  for (std::uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    RandomSpecialParams p;
+    p.num_agents = 30;
+    p.delta_k = 4;
+    const MaxMinInstance inst = random_special_form(p, seed);
+    EXPECT_TRUE(is_special_form(inst)) << "seed " << seed;
+    EXPECT_LE(inst.stats().delta_k, 4);
+    EXPECT_TRUE(inst.connected());
+  }
+}
+
+TEST(Cycle, StructureAndDegrees) {
+  const MaxMinInstance inst = cycle_instance({.num_agents = 9}, 1);
+  const InstanceStats s = inst.stats();
+  EXPECT_EQ(s.agents, 9);
+  EXPECT_EQ(s.constraints, 9);
+  EXPECT_EQ(s.objectives, 9);
+  EXPECT_EQ(s.delta_i, 2);
+  EXPECT_EQ(s.delta_k, 2);
+  EXPECT_EQ(s.max_iv, 2);
+  EXPECT_EQ(s.max_kv, 2);
+  EXPECT_TRUE(inst.connected());
+}
+
+TEST(Path, EndpointsGetSingletonObjectives) {
+  const MaxMinInstance inst = path_instance(6);
+  EXPECT_EQ(inst.agent_objectives(0).size(), 1u);
+  EXPECT_EQ(inst.objective_row(inst.agent_objectives(0)[0].row).size(), 1u);
+  EXPECT_TRUE(inst.connected());
+  // Not special form (singleton objectives), but valid.
+  EXPECT_FALSE(is_special_form(inst));
+}
+
+TEST(Grid, TorusCounts) {
+  const MaxMinInstance inst = grid_instance({.rows = 5, .cols = 7}, 2);
+  const InstanceStats s = inst.stats();
+  EXPECT_EQ(s.agents, 35);
+  EXPECT_EQ(s.constraints, 35);  // one per horizontal edge
+  EXPECT_EQ(s.objectives, 35);   // one per vertical edge
+  EXPECT_EQ(s.max_iv, 2);
+  EXPECT_EQ(s.max_kv, 2);
+  EXPECT_TRUE(inst.connected());
+}
+
+TEST(Tree, ValidAndDeterministic) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const MaxMinInstance a = tree_instance({}, seed);
+    const MaxMinInstance b = tree_instance({}, seed);
+    EXPECT_EQ(describe(a), describe(b));
+    EXPECT_GE(a.num_agents(), 2);
+  }
+}
+
+TEST(Sensor, BipartiteStructure) {
+  const MaxMinInstance inst = sensor_instance({}, 5);
+  // Each agent (sensor-sink pair) touches exactly one constraint and one
+  // objective: a bipartite max-min LP.
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    EXPECT_EQ(inst.agent_constraints(v).size(), 1u);
+    EXPECT_EQ(inst.agent_objectives(v).size(), 1u);
+  }
+  // Every sensor is covered.
+  EXPECT_EQ(inst.num_objectives(), 30);
+}
+
+TEST(Sensor, SinkBoundRespectedWhenCapacitySuffices) {
+  // 30 sensors, 10 sinks, cap 3: capacity is exactly sufficient, so the
+  // nearest-first assignment must respect the cap strictly.
+  SensorParams p;
+  p.max_sensors_per_sink = 3;
+  for (std::uint64_t seed : {11, 12, 13, 14}) {
+    const MaxMinInstance inst = sensor_instance(p, seed);
+    EXPECT_LE(inst.stats().delta_i, 3) << "seed " << seed;
+  }
+}
+
+TEST(Sensor, OverfullFieldOverflowsGracefully) {
+  SensorParams p;
+  p.num_sensors = 12;
+  p.num_sinks = 2;
+  p.max_sensors_per_sink = 4;  // capacity 8 < 12 sensors
+  const MaxMinInstance inst = sensor_instance(p, 15);
+  EXPECT_EQ(inst.num_objectives(), 12);  // all sensors still covered
+  EXPECT_GT(inst.stats().delta_i, 4);    // necessarily over cap
+}
+
+TEST(Bandwidth, RoutesAreLinkDisjointish) {
+  const MaxMinInstance inst = bandwidth_instance({}, 17);
+  EXPECT_EQ(inst.num_objectives(), 10);
+  // Agents ride >= 1 link.
+  for (AgentId v = 0; v < inst.num_agents(); ++v)
+    EXPECT_GE(inst.agent_constraints(v).size(), 1u);
+  // Customers have >= 1 route.
+  for (ObjectiveId k = 0; k < inst.num_objectives(); ++k)
+    EXPECT_GE(inst.objective_row(k).size(), 1u);
+}
+
+TEST(RegularSpecial, FullyRegularAndSpecialForm) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    RegularSpecialParams p;
+    p.num_objectives = 10;
+    p.delta_k = 3;
+    p.constraints_per_agent = 2;
+    const MaxMinInstance inst = regular_special_instance(p, seed);
+    EXPECT_TRUE(is_special_form(inst)) << "seed " << seed;
+    const InstanceStats s = inst.stats();
+    EXPECT_EQ(s.agents, 30);
+    EXPECT_EQ(s.objectives, 10);
+    EXPECT_EQ(s.constraints, 30);  // n * c / 2
+    EXPECT_EQ(s.delta_k, 3);
+    for (AgentId v = 0; v < inst.num_agents(); ++v) {
+      EXPECT_EQ(inst.agent_constraints(v).size(), 2u) << "agent " << v;
+    }
+  }
+}
+
+TEST(RegularSpecial, DeterministicInSeed) {
+  RegularSpecialParams p;
+  const MaxMinInstance a = regular_special_instance(p, 5);
+  const MaxMinInstance c = regular_special_instance(p, 5);
+  EXPECT_EQ(describe(a), describe(c));
+}
+
+TEST(Layered, SpecialFormWithExpectedCounts) {
+  for (int dk : {2, 3, 4}) {
+    const MaxMinInstance inst = layered_instance(
+        {.delta_k = dk, .layers = 5, .width = 3, .twist = 1});
+    EXPECT_TRUE(is_special_form(inst)) << "delta_k " << dk;
+    const InstanceStats s = inst.stats();
+    EXPECT_EQ(s.agents, 5 * 3 * dk);
+    EXPECT_EQ(s.objectives, 5 * 3);
+    EXPECT_EQ(s.constraints, 5 * 3 * (dk - 1));
+    EXPECT_EQ(s.delta_k, dk);
+    EXPECT_EQ(s.delta_i, 2);
+    EXPECT_TRUE(inst.connected());
+  }
+}
+
+TEST(Layered, UpAgentsCollectConstraints) {
+  const MaxMinInstance inst =
+      layered_instance({.delta_k = 4, .layers = 4, .width = 2, .twist = 1});
+  // Up-agents have delta_k - 1 constraints; down-agents exactly one.
+  int ups = 0, downs = 0;
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    const auto deg = inst.agent_constraints(v).size();
+    if (deg == 3) ++ups;
+    if (deg == 1) ++downs;
+  }
+  EXPECT_EQ(ups, 4 * 2);
+  EXPECT_EQ(downs, 4 * 2 * 3);
+}
+
+}  // namespace
+}  // namespace locmm

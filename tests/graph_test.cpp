@@ -1,0 +1,101 @@
+// Tests for the CommGraph flattening: node typing, port order, BFS.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/comm_graph.hpp"
+
+namespace locmm {
+namespace {
+
+MaxMinInstance tiny() {
+  InstanceBuilder b(3);
+  b.add_constraint({{0, 1.0}, {1, 2.0}});
+  b.add_constraint({{1, 1.0}, {2, 1.0}});
+  b.add_objective({{0, 1.0}, {1, 1.0}});
+  b.add_objective({{2, 3.0}});
+  return b.build();
+}
+
+TEST(CommGraph, NodeLayoutAndTypes) {
+  const MaxMinInstance inst = tiny();
+  const CommGraph g(inst);
+  EXPECT_EQ(g.num_nodes(), 3 + 2 + 2);
+  EXPECT_EQ(g.type(g.agent_node(0)), NodeType::kAgent);
+  EXPECT_EQ(g.type(g.constraint_node(0)), NodeType::kConstraint);
+  EXPECT_EQ(g.type(g.objective_node(1)), NodeType::kObjective);
+  EXPECT_EQ(g.class_index(g.constraint_node(1)), 1);
+  EXPECT_EQ(g.class_index(g.objective_node(0)), 0);
+}
+
+TEST(CommGraph, AgentPortsConstraintsFirst) {
+  const MaxMinInstance inst = tiny();
+  const CommGraph g(inst);
+  // Agent 1: constraints c0, c1 then objective k0.
+  const NodeId a1 = g.agent_node(1);
+  EXPECT_EQ(g.degree(a1), 3);
+  EXPECT_EQ(g.constraint_degree(a1), 2);
+  const auto n = g.neighbors(a1);
+  EXPECT_EQ(n[0].to, g.constraint_node(0));
+  EXPECT_DOUBLE_EQ(n[0].coeff, 2.0);
+  EXPECT_EQ(n[1].to, g.constraint_node(1));
+  EXPECT_DOUBLE_EQ(n[1].coeff, 1.0);
+  EXPECT_EQ(n[2].to, g.objective_node(0));
+  EXPECT_DOUBLE_EQ(n[2].coeff, 1.0);
+}
+
+TEST(CommGraph, ConstraintPortsFollowRowOrder) {
+  const MaxMinInstance inst = tiny();
+  const CommGraph g(inst);
+  const auto n = g.neighbors(g.constraint_node(0));
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0].to, g.agent_node(0));
+  EXPECT_DOUBLE_EQ(n[0].coeff, 1.0);
+  EXPECT_EQ(n[1].to, g.agent_node(1));
+  EXPECT_DOUBLE_EQ(n[1].coeff, 2.0);
+}
+
+TEST(CommGraph, BfsDistances) {
+  const MaxMinInstance inst = tiny();
+  const CommGraph g(inst);
+  const auto dist = g.bfs_distances(g.agent_node(0), 10);
+  EXPECT_EQ(dist[g.agent_node(0)], 0);
+  EXPECT_EQ(dist[g.constraint_node(0)], 1);
+  EXPECT_EQ(dist[g.agent_node(1)], 2);
+  EXPECT_EQ(dist[g.constraint_node(1)], 3);
+  EXPECT_EQ(dist[g.agent_node(2)], 4);
+  EXPECT_EQ(dist[g.objective_node(1)], 5);
+}
+
+TEST(CommGraph, BfsRespectsCap) {
+  const MaxMinInstance inst = tiny();
+  const CommGraph g(inst);
+  const auto dist = g.bfs_distances(g.agent_node(0), 2);
+  EXPECT_EQ(dist[g.agent_node(2)], -1);   // distance 4, beyond the cap
+  EXPECT_EQ(dist[g.agent_node(1)], 2);
+}
+
+TEST(CommGraph, BallContainsExactlyTheNeighbourhood) {
+  const MaxMinInstance inst = cycle_instance({.num_agents = 10}, 7);
+  const CommGraph g(inst);
+  const auto ball = g.ball(g.agent_node(0), 2);
+  // Agent 0 on a cycle: itself, 2 constraints + 2 objectives at distance 1,
+  // 2 agents at distance 2 (each reachable via two routes; counted once).
+  EXPECT_EQ(ball.size(), 1u + 4u + 2u);
+  EXPECT_EQ(ball[0], g.agent_node(0));
+  const auto dist = g.bfs_distances(g.agent_node(0), 2);
+  for (NodeId v : ball) EXPECT_GE(dist[v], 0);
+}
+
+TEST(CommGraph, GridIsFourRegularOverAgents) {
+  const MaxMinInstance inst = grid_instance({.rows = 4, .cols = 5}, 1);
+  const CommGraph g(inst);
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    EXPECT_EQ(g.degree(g.agent_node(v)), 4);
+    EXPECT_EQ(g.constraint_degree(g.agent_node(v)), 2);
+  }
+  for (ConstraintId i = 0; i < inst.num_constraints(); ++i)
+    EXPECT_EQ(g.degree(g.constraint_node(i)), 2);
+}
+
+}  // namespace
+}  // namespace locmm

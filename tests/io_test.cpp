@@ -1,0 +1,98 @@
+// Tests for the plain-text instance format: round-trips, comments, errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "lp/io.hpp"
+
+namespace locmm {
+namespace {
+
+bool same_instance(const MaxMinInstance& a, const MaxMinInstance& b) {
+  if (a.num_agents() != b.num_agents() ||
+      a.num_constraints() != b.num_constraints() ||
+      a.num_objectives() != b.num_objectives()) {
+    return false;
+  }
+  for (ConstraintId i = 0; i < a.num_constraints(); ++i) {
+    const auto ra = a.constraint_row(i);
+    const auto rb = b.constraint_row(i);
+    if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) return false;
+  }
+  for (ObjectiveId k = 0; k < a.num_objectives(); ++k) {
+    const auto ra = a.objective_row(k);
+    const auto rb = b.objective_row(k);
+    if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) return false;
+  }
+  return true;
+}
+
+TEST(Io, RoundTripsRandomInstance) {
+  const MaxMinInstance inst = random_general({.num_agents = 20}, 99);
+  std::stringstream ss;
+  write_instance(ss, inst);
+  const MaxMinInstance back = read_instance(ss);
+  EXPECT_TRUE(same_instance(inst, back));
+}
+
+TEST(Io, RoundTripsExactCoefficients) {
+  InstanceBuilder b(2);
+  b.add_constraint({{0, 1.0 / 3.0}, {1, 0.1234567890123456789}});
+  b.add_objective({{0, 1.0}, {1, 2.0}});
+  const MaxMinInstance inst = b.build();
+  std::stringstream ss;
+  write_instance(ss, inst);
+  const MaxMinInstance back = read_instance(ss);
+  EXPECT_TRUE(same_instance(inst, back));  // %.17g survives doubles exactly
+}
+
+TEST(Io, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "maxminlp 1\n"
+      "\n"
+      "agents 2   # trailing comment\n"
+      "constraint 0 1.0 1 2.0\n"
+      "objective 0 1.0\n"
+      "objective 1 1.0\n");
+  const MaxMinInstance inst = read_instance(in);
+  EXPECT_EQ(inst.num_agents(), 2);
+  EXPECT_EQ(inst.num_constraints(), 1);
+  EXPECT_EQ(inst.num_objectives(), 2);
+}
+
+TEST(Io, RejectsMissingHeader) {
+  std::istringstream in("agents 2\n");
+  EXPECT_THROW(read_instance(in), CheckError);
+}
+
+TEST(Io, RejectsWrongVersion) {
+  std::istringstream in("maxminlp 7\n");
+  EXPECT_THROW(read_instance(in), CheckError);
+}
+
+TEST(Io, RejectsUnknownDirective) {
+  std::istringstream in("maxminlp 1\nagents 1\nfrobnicate 1 2\n");
+  EXPECT_THROW(read_instance(in), CheckError);
+}
+
+TEST(Io, RejectsDanglingAgentId) {
+  std::istringstream in("maxminlp 1\nagents 2\nconstraint 0\n");
+  EXPECT_THROW(read_instance(in), CheckError);
+}
+
+TEST(Io, SaveLoadFile) {
+  const MaxMinInstance inst = cycle_instance({.num_agents = 6}, 5);
+  const std::string path = ::testing::TempDir() + "/locmm_io_test.mmlp";
+  save_instance(path, inst);
+  const MaxMinInstance back = load_instance(path);
+  EXPECT_TRUE(same_instance(inst, back));
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW(load_instance("/nonexistent/nope.mmlp"), CheckError);
+}
+
+}  // namespace
+}  // namespace locmm

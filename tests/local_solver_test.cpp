@@ -1,0 +1,143 @@
+// Tests for engine C on special-form instances: feasibility (Lemma 11),
+// the per-objective bound of Lemma 12, and the end-to-end special-form
+// guarantee 2 (1 - 1/delta_K)(1 + 1/(R-1)) of §6.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/local_solver.hpp"
+#include "core/solver_api.hpp"
+#include "gen/generators.hpp"
+#include "lp/maxmin_solver.hpp"
+
+namespace locmm {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  std::int32_t delta_k;
+  std::int32_t R;
+};
+
+class SpecialRun : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SpecialRun, FeasibleAndWithinGuarantee) {
+  const Case c = GetParam();
+  RandomSpecialParams p;
+  p.num_agents = 24;
+  p.delta_k = c.delta_k;
+  const MaxMinInstance inst = random_special_form(p, c.seed);
+  const SpecialFormInstance sf(inst);
+  const SpecialRunResult run = solve_special_centralized(sf, c.R);
+
+  // Lemma 11: feasibility.
+  EXPECT_TRUE(inst.is_feasible(run.x, 1e-9))
+      << "violation = " << inst.violation(run.x);
+
+  // Theorem 1 (special form): omega(x) >= omega* / guarantee.
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  ASSERT_EQ(opt.status, LpStatus::kOptimal);
+  const double guarantee = special_form_guarantee(c.delta_k, c.R);
+  EXPECT_GE(inst.utility(run.x) * guarantee, opt.omega - 1e-7)
+      << "measured ratio " << opt.omega / inst.utility(run.x)
+      << " exceeds guarantee " << guarantee;
+}
+
+TEST_P(SpecialRun, Lemma12PerObjectiveBound) {
+  const Case c = GetParam();
+  RandomSpecialParams p;
+  p.num_agents = 24;
+  p.delta_k = c.delta_k;
+  const MaxMinInstance inst = random_special_form(p, c.seed);
+  const SpecialFormInstance sf(inst);
+  const SpecialRunResult run = solve_special_centralized(sf, c.R);
+
+  const auto vals = inst.objective_values(run.x);
+  const double R = c.R;
+  for (ObjectiveId k = 0; k < inst.num_objectives(); ++k) {
+    const auto row = inst.objective_row(k);
+    const double vk = static_cast<double>(row.size());
+    double smin = std::numeric_limits<double>::infinity();
+    for (const Entry& e : row) smin = std::min(smin, run.s[e.agent]);
+    EXPECT_GE(vals[k],
+              0.5 * (1.0 - 1.0 / R) * vk / (vk - 1.0) * smin - 1e-9)
+        << "objective " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpecialRun,
+    ::testing::Values(Case{1, 2, 2}, Case{2, 2, 3}, Case{3, 2, 4},
+                      Case{4, 3, 2}, Case{5, 3, 3}, Case{6, 3, 4},
+                      Case{7, 4, 2}, Case{8, 4, 3}, Case{9, 4, 5},
+                      Case{10, 5, 3}, Case{11, 3, 6}, Case{12, 2, 6}));
+
+TEST(SpecialRunBasics, RejectsSmallR) {
+  RandomSpecialParams p;
+  p.num_agents = 8;
+  const MaxMinInstance inst = random_special_form(p, 1);
+  const SpecialFormInstance sf(inst);
+  EXPECT_THROW(solve_special_centralized(sf, 1), CheckError);
+}
+
+TEST(SpecialRunBasics, RunBundleConsistent) {
+  RandomSpecialParams p;
+  p.num_agents = 16;
+  const MaxMinInstance inst = random_special_form(p, 2);
+  const SpecialFormInstance sf(inst);
+  const SpecialRunResult run = solve_special_centralized(sf, 4);
+  EXPECT_EQ(run.R, 4);
+  EXPECT_EQ(run.r, 2);
+  EXPECT_EQ(run.t.size(), static_cast<std::size_t>(inst.num_agents()));
+  EXPECT_EQ(run.s.size(), run.t.size());
+  EXPECT_EQ(run.g.plus.size(), 3u);
+  EXPECT_EQ(run.x.size(), run.t.size());
+}
+
+TEST(SpecialRunBasics, ThreadedRunBitwiseEqual) {
+  RandomSpecialParams p;
+  p.num_agents = 40;
+  const MaxMinInstance inst = random_special_form(p, 3);
+  const SpecialFormInstance sf(inst);
+  const SpecialRunResult serial = solve_special_centralized(sf, 3, {}, 1);
+  const SpecialRunResult threaded = solve_special_centralized(sf, 3, {}, 4);
+  for (std::size_t v = 0; v < serial.x.size(); ++v)
+    EXPECT_DOUBLE_EQ(serial.x[v], threaded.x[v]);
+}
+
+TEST(SpecialRunBasics, UtilityDominatedByUpperBound) {
+  // omega(x) <= omega* <= min_v t_v (+ tolerance): the output never beats
+  // the certified optimum and the t bound dominates both.
+  RandomSpecialParams p;
+  p.num_agents = 20;
+  const MaxMinInstance inst = random_special_form(p, 4);
+  const SpecialFormInstance sf(inst);
+  const SpecialRunResult run = solve_special_centralized(sf, 3);
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  const double tmin = *std::min_element(run.t.begin(), run.t.end());
+  EXPECT_LE(inst.utility(run.x), opt.omega + 1e-8);
+  EXPECT_GE(tmin, opt.omega - 1e-7);
+}
+
+TEST(SpecialRunBasics, GrowingRImprovesRatioOnLayered) {
+  // On the layered wheel the shifting loss decays with R; the measured
+  // utility should be (weakly) increasing in R modulo small wiggle.
+  const MaxMinInstance inst = layered_instance(
+      {.delta_k = 3, .layers = 8, .width = 3, .twist = 1});
+  const SpecialFormInstance sf(inst);
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  double util2 = 0.0, util6 = 0.0;
+  {
+    const SpecialRunResult run = solve_special_centralized(sf, 2);
+    util2 = inst.utility(run.x);
+  }
+  {
+    const SpecialRunResult run = solve_special_centralized(sf, 6);
+    util6 = inst.utility(run.x);
+  }
+  EXPECT_GE(opt.omega, util6 - 1e-9);
+  EXPECT_GE(util6, util2 - 1e-6);  // more horizon, no worse
+}
+
+}  // namespace
+}  // namespace locmm

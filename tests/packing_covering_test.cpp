@@ -1,0 +1,185 @@
+// Tests for the mixed packing/covering application (paper §1's claimed
+// corollary): reduction correctness, status logic, preprocessing of
+// degenerate shapes, and the nonnegative-linear-system special case.
+#include <gtest/gtest.h>
+
+#include "core/packing_covering.hpp"
+#include "support/prng.hpp"
+
+namespace locmm {
+namespace {
+
+TEST(PackingCovering, FeasibleSystemSolvedExactly) {
+  // x0 + x1 <= 2, x0 >= 1, x1 >= 1: feasible (x = (1,1)).
+  PackingCoveringProblem p;
+  p.num_vars = 2;
+  p.packing = {{{{0, 1.0}, {1, 1.0}}, 2.0}};
+  p.covering = {{{{0, 1.0}}, 1.0}, {{{1, 1.0}}, 1.0}};
+  const PackingCoveringResult res = solve_packing_covering_exact(p);
+  EXPECT_EQ(res.status, PcStatus::kFeasible);
+  EXPECT_LE(packing_violation(p, res.x), 1e-9);
+  EXPECT_GE(res.cover_factor, 1.0 - 1e-9);
+}
+
+TEST(PackingCovering, InfeasibleSystemCertified) {
+  // x0 <= 1 but x0 >= 3.
+  PackingCoveringProblem p;
+  p.num_vars = 1;
+  p.packing = {{{{0, 1.0}}, 1.0}};
+  p.covering = {{{{0, 1.0}}, 3.0}};
+  EXPECT_EQ(solve_packing_covering_exact(p).status, PcStatus::kInfeasible);
+  // The local solver must not claim feasibility either.
+  const PackingCoveringResult local = solve_packing_covering_local(p, {.R = 4});
+  EXPECT_EQ(local.status, PcStatus::kInfeasible);
+}
+
+TEST(PackingCovering, LocalSolverRelaxedContract) {
+  // Feasible but tight system: local solve satisfies packing exactly and
+  // covering to >= 1/alpha.
+  PackingCoveringProblem p;
+  p.num_vars = 3;
+  p.packing = {{{{0, 1.0}, {1, 2.0}}, 2.0}, {{{1, 1.0}, {2, 1.0}}, 1.5}};
+  p.covering = {{{{0, 1.0}, {1, 1.0}}, 1.0}, {{{2, 2.0}}, 1.0}};
+  const PackingCoveringResult exact = solve_packing_covering_exact(p);
+  ASSERT_EQ(exact.status, PcStatus::kFeasible);
+  const PackingCoveringResult local =
+      solve_packing_covering_local(p, {.R = 4});
+  EXPECT_LE(packing_violation(p, local.x), 1e-8);
+  EXPECT_GE(local.cover_factor, 1.0 / local.alpha - 1e-8);
+  EXPECT_NE(local.status, PcStatus::kInfeasible)
+      << "local solver wrongly certified a feasible system infeasible";
+}
+
+TEST(PackingCovering, ZeroRhsPackingForcesVariables) {
+  // 5 x0 <= 0 forces x0 = 0; covering on x0 alone becomes infeasible.
+  PackingCoveringProblem p;
+  p.num_vars = 2;
+  p.packing = {{{{0, 5.0}}, 0.0}, {{{1, 1.0}}, 4.0}};
+  p.covering = {{{{0, 1.0}}, 1.0}};
+  EXPECT_EQ(solve_packing_covering_exact(p).status, PcStatus::kInfeasible);
+
+  // Same forcing, but covering served by the other variable: feasible.
+  p.covering = {{{{0, 1.0}, {1, 1.0}}, 2.0}};
+  const PackingCoveringResult res = solve_packing_covering_exact(p);
+  EXPECT_EQ(res.status, PcStatus::kFeasible);
+  EXPECT_DOUBLE_EQ(res.x[0], 0.0);
+}
+
+TEST(PackingCovering, UncoveredVariablesStayZero) {
+  // x1 appears only in packing: it can only hurt, so it is zeroed.
+  PackingCoveringProblem p;
+  p.num_vars = 2;
+  p.packing = {{{{0, 1.0}, {1, 1.0}}, 1.0}};
+  p.covering = {{{{0, 2.0}}, 1.0}};
+  const PackingCoveringResult res = solve_packing_covering_exact(p);
+  EXPECT_EQ(res.status, PcStatus::kFeasible);
+  EXPECT_DOUBLE_EQ(res.x[1], 0.0);
+}
+
+TEST(PackingCovering, UnpackedVariableGetsSyntheticCapacity) {
+  // x0 has no packing row at all; it must still be able to satisfy its
+  // covering row ("set unconstrained agents to +infinity", §4 preamble).
+  PackingCoveringProblem p;
+  p.num_vars = 1;
+  p.covering = {{{{0, 0.5}}, 3.0}};
+  const PackingCoveringResult res = solve_packing_covering_exact(p);
+  EXPECT_EQ(res.status, PcStatus::kFeasible);
+  EXPECT_GE(res.x[0], 6.0 - 1e-9);
+}
+
+TEST(PackingCovering, NoCoveringRowsTriviallyFeasible) {
+  PackingCoveringProblem p;
+  p.num_vars = 2;
+  p.packing = {{{{0, 1.0}, {1, 1.0}}, 1.0}};
+  const PackingCoveringResult res = solve_packing_covering_exact(p);
+  EXPECT_EQ(res.status, PcStatus::kFeasible);
+  EXPECT_DOUBLE_EQ(res.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.x[1], 0.0);
+}
+
+TEST(PackingCovering, RejectsNegativeData) {
+  PackingCoveringProblem p;
+  p.num_vars = 1;
+  p.packing = {{{{0, -1.0}}, 1.0}};
+  p.covering = {{{{0, 1.0}}, 1.0}};
+  EXPECT_THROW(solve_packing_covering_exact(p), CheckError);
+}
+
+TEST(LinearSystem, SolvesNonnegativeEquations) {
+  // The §1 special case: M x = d with nonnegative M, d.
+  //   x0 + x1 = 2
+  //   x1 + x2 = 2
+  //   x0 + x2 = 2        solution x = (1,1,1).
+  std::vector<SparseLpRow> eqs = {
+      {{{0, 1.0}, {1, 1.0}}, 2.0},
+      {{{1, 1.0}, {2, 1.0}}, 2.0},
+      {{{0, 1.0}, {2, 1.0}}, 2.0},
+  };
+  const PackingCoveringProblem p = linear_system_problem(3, eqs);
+  const PackingCoveringResult exact = solve_packing_covering_exact(p);
+  EXPECT_EQ(exact.status, PcStatus::kFeasible);
+  EXPECT_LE(packing_violation(p, exact.x), 1e-9);
+
+  // The local route: equations hold with M x <= d and M x >= d / alpha.
+  const PackingCoveringResult local =
+      solve_packing_covering_local(p, {.R = 6});
+  EXPECT_LE(packing_violation(p, local.x), 1e-8);
+  EXPECT_GE(local.cover_factor, 1.0 / local.alpha - 1e-8);
+}
+
+class RandomSystems : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSystems, FeasibleByConstructionContract) {
+  // rhs generated from a hidden ground truth: packing rows get slack,
+  // covering rows are 90% of what the ground truth achieves -> feasible.
+  Rng rng(GetParam());
+  const std::int32_t vars = 18;
+  std::vector<double> x_star(static_cast<std::size_t>(vars));
+  for (auto& v : x_star) v = rng.uniform(0.2, 2.0);
+
+  PackingCoveringProblem p;
+  p.num_vars = vars;
+  auto row_at = [&](double factor) {
+    SparseLpRow row;
+    const auto size = static_cast<std::int32_t>(rng.range(2, 4));
+    std::vector<char> used(static_cast<std::size_t>(vars), 0);
+    for (std::int32_t e = 0; e < size; ++e) {
+      auto col = static_cast<std::int32_t>(
+          rng.below(static_cast<std::uint64_t>(vars)));
+      while (used[static_cast<std::size_t>(col)]) col = (col + 1) % vars;
+      used[static_cast<std::size_t>(col)] = 1;
+      row.entries.emplace_back(col, rng.uniform(0.5, 2.0));
+    }
+    double at = 0.0;
+    for (const auto& [col, coeff] : row.entries)
+      at += coeff * x_star[static_cast<std::size_t>(col)];
+    row.rhs = at * factor;
+    return row;
+  };
+  for (int i = 0; i < 12; ++i) {
+    p.packing.push_back(row_at(rng.uniform(1.0, 1.4)));
+    p.covering.push_back(row_at(0.9));
+  }
+
+  const PackingCoveringResult exact = solve_packing_covering_exact(p);
+  EXPECT_EQ(exact.status, PcStatus::kFeasible);
+
+  const PackingCoveringResult local =
+      solve_packing_covering_local(p, {.R = 4});
+  EXPECT_LE(packing_violation(p, local.x), 1e-8);
+  EXPECT_GE(local.cover_factor, 1.0 / local.alpha - 1e-8);
+  EXPECT_NE(local.status, PcStatus::kInfeasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystems,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+TEST(LinearSystem, DetectsInconsistentEquations) {
+  // x0 = 1 and x0 = 3 cannot both hold.
+  std::vector<SparseLpRow> eqs = {{{{0, 1.0}}, 1.0}, {{{0, 1.0}}, 3.0}};
+  const PackingCoveringProblem p = linear_system_problem(1, eqs);
+  EXPECT_EQ(solve_packing_covering_exact(p).status, PcStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace locmm

@@ -1,0 +1,165 @@
+// Property-based sweeps: the paper's contracts as universally-quantified
+// statements over (family, seed, delta_I, delta_K, R) grids.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/local_solver.hpp"
+#include "core/solver_api.hpp"
+#include "gen/generators.hpp"
+#include "lp/maxmin_solver.hpp"
+
+namespace locmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property 1: Theorem 1 end-to-end on random general instances.
+//   x feasible  AND  omega(x) * guarantee >= omega*.
+// ---------------------------------------------------------------------------
+using GeneralCase = std::tuple<std::uint64_t /*seed*/, std::int32_t /*dI*/,
+                               std::int32_t /*dK*/, std::int32_t /*R*/>;
+
+class Theorem1Property : public ::testing::TestWithParam<GeneralCase> {};
+
+TEST_P(Theorem1Property, HoldsOnRandomGeneral) {
+  const auto [seed, di, dk, R] = GetParam();
+  RandomGeneralParams p;
+  p.num_agents = 14;
+  p.delta_i = di;
+  p.delta_k = dk;
+  const MaxMinInstance inst = random_general(p, seed);
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  ASSERT_EQ(opt.status, LpStatus::kOptimal);
+
+  const LocalSolution sol = solve_local(inst, {.R = R});
+  EXPECT_TRUE(inst.is_feasible(sol.x, 1e-8))
+      << "violation " << inst.violation(sol.x);
+  EXPECT_GE(sol.omega * sol.guarantee, opt.omega - 1e-7)
+      << "ratio " << opt.omega / std::max(sol.omega, 1e-300)
+      << " vs guarantee " << sol.guarantee;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem1Property,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values<std::int32_t>(2, 3, 4),
+                       ::testing::Values<std::int32_t>(2, 3),
+                       ::testing::Values<std::int32_t>(2, 4)));
+
+// ---------------------------------------------------------------------------
+// Property 2: upper-bound soundness through the pipeline.
+//   min_v t_v (special) >= omega*(special) >= omega*(original).
+// ---------------------------------------------------------------------------
+class UpperBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpperBoundProperty, TBoundsDominateOptima) {
+  RandomGeneralParams p;
+  p.num_agents = 12;
+  const MaxMinInstance inst = random_general(p, GetParam());
+  const LocalSolution sol = solve_local(inst, {.R = 3});
+  const MaxMinLpResult orig = solve_lp_optimum(inst);
+  ASSERT_EQ(orig.status, LpStatus::kOptimal);
+  EXPECT_GE(sol.t_min_special, orig.omega - 1e-7);
+  // And the special solution's utility can't beat the t bound either.
+  EXPECT_LE(sol.omega_special, sol.t_min_special + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpperBoundProperty,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38, 39,
+                                           40));
+
+// ---------------------------------------------------------------------------
+// Property 3: unit-coefficient ({0,1}) instances -- the regime of the
+// paper's inapproximability result -- satisfy the same contract.
+// ---------------------------------------------------------------------------
+class ZeroOneProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZeroOneProperty, Theorem1OnZeroOneCoefficients) {
+  RandomGeneralParams p;
+  p.num_agents = 14;
+  p.unit_coefficients = true;
+  const MaxMinInstance inst = random_general(p, GetParam());
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  ASSERT_EQ(opt.status, LpStatus::kOptimal);
+  const LocalSolution sol = solve_local(inst, {.R = 4});
+  EXPECT_TRUE(inst.is_feasible(sol.x, 1e-8));
+  EXPECT_GE(sol.omega * sol.guarantee, opt.omega - 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroOneProperty,
+                         ::testing::Values(41, 42, 43, 44, 45, 46));
+
+// ---------------------------------------------------------------------------
+// Property 4: output monotonicity knobs -- x scales linearly with a global
+// rescaling of constraint coefficients (a -> 2a implies x -> x/2 through
+// every stage of the recursion).
+// ---------------------------------------------------------------------------
+class ScalingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalingProperty, GlobalConstraintScalingHalvesOutput) {
+  RandomSpecialParams p;
+  p.num_agents = 14;
+  const MaxMinInstance inst = random_special_form(p, GetParam());
+  InstanceBuilder b(inst.num_agents());
+  for (ConstraintId i = 0; i < inst.num_constraints(); ++i) {
+    std::vector<Entry> row;
+    for (const Entry& e : inst.constraint_row(i))
+      row.push_back({e.agent, 2.0 * e.coeff});
+    b.add_constraint(std::move(row));
+  }
+  for (ObjectiveId k = 0; k < inst.num_objectives(); ++k) {
+    auto row = inst.objective_row(k);
+    b.add_objective(std::vector<Entry>(row.begin(), row.end()));
+  }
+  const MaxMinInstance doubled = b.build();
+
+  const SpecialRunResult a =
+      solve_special_centralized(SpecialFormInstance(inst), 3);
+  const SpecialRunResult c =
+      solve_special_centralized(SpecialFormInstance(doubled), 3);
+  for (std::size_t v = 0; v < a.x.size(); ++v)
+    EXPECT_NEAR(c.x[v], 0.5 * a.x[v], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingProperty,
+                         ::testing::Values(51, 52, 53, 54));
+
+// ---------------------------------------------------------------------------
+// Property 5: determinism -- the full solve is a pure function of the
+// instance (no hidden global state across repeated invocations).
+// ---------------------------------------------------------------------------
+class DeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismProperty, RepeatRunsBitwiseEqual) {
+  const MaxMinInstance inst = random_general({.num_agents = 12}, GetParam());
+  const LocalSolution a = solve_local(inst, {.R = 3});
+  const LocalSolution b = solve_local(inst, {.R = 3});
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t v = 0; v < a.x.size(); ++v)
+    EXPECT_DOUBLE_EQ(a.x[v], b.x[v]);
+  EXPECT_DOUBLE_EQ(a.t_min_special, b.t_min_special);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty,
+                         ::testing::Values(61, 62, 63));
+
+// ---------------------------------------------------------------------------
+// Property 6: tolerance of the t bisection controls solution drift.
+// ---------------------------------------------------------------------------
+TEST(ToleranceProperty, TighterToleranceConverges) {
+  const MaxMinInstance inst = random_special_form({.num_agents = 16}, 71);
+  const SpecialFormInstance sf(inst);
+  TSearchOptions loose{.tol = 1e-4, .max_iters = 200};
+  TSearchOptions tight{.tol = 1e-13, .max_iters = 300};
+  const SpecialRunResult a = solve_special_centralized(sf, 3, loose);
+  const SpecialRunResult c = solve_special_centralized(sf, 3, tight);
+  for (std::size_t v = 0; v < a.x.size(); ++v) {
+    EXPECT_NEAR(a.x[v], c.x[v], 1e-2);
+    // Loose t never exceeds tight t (both return feasible endpoints of the
+    // same monotone interval).
+    EXPECT_LE(a.t[v], c.t[v] + 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace locmm

@@ -1,0 +1,78 @@
+// Tests for the safe baseline: feasibility and the delta_I approximation
+// factor on every workload family.
+#include <gtest/gtest.h>
+
+#include "core/safe_baseline.hpp"
+#include "gen/generators.hpp"
+#include "lp/maxmin_solver.hpp"
+
+namespace locmm {
+namespace {
+
+void expect_safe_contract(const MaxMinInstance& inst) {
+  const std::vector<double> x = solve_safe(inst);
+  EXPECT_TRUE(inst.is_feasible(x, 1e-12))
+      << "violation " << inst.violation(x);
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  ASSERT_EQ(opt.status, LpStatus::kOptimal);
+  const double delta_i = static_cast<double>(inst.stats().delta_i);
+  EXPECT_GE(inst.utility(x) * delta_i, opt.omega - 1e-8)
+      << "safe algorithm broke its delta_I = " << delta_i << " factor";
+}
+
+TEST(SafeBaseline, HandComputedPair) {
+  InstanceBuilder b(2);
+  b.add_constraint({{0, 2.0}, {1, 4.0}});
+  b.add_objective({{0, 1.0}, {1, 1.0}});
+  const MaxMinInstance inst = b.build();
+  const std::vector<double> x = solve_safe(inst);
+  EXPECT_DOUBLE_EQ(x[0], 1.0 / (2.0 * 2.0));
+  EXPECT_DOUBLE_EQ(x[1], 1.0 / (2.0 * 4.0));
+}
+
+TEST(SafeBaseline, ExactOnSymmetricUnitCycle) {
+  const MaxMinInstance inst = cycle_instance({.num_agents = 10}, 1);
+  const std::vector<double> x = solve_safe(inst);
+  // x = 1/2 everywhere: actually optimal here.
+  EXPECT_NEAR(inst.utility(x), 1.0, 1e-12);
+}
+
+class SafeOnFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(SafeOnFamilies, FeasibleWithinFactor) {
+  switch (GetParam()) {
+    case 0:
+      expect_safe_contract(random_general({.num_agents = 20}, 5));
+      break;
+    case 1:
+      expect_safe_contract(
+          random_special_form({.num_agents = 20}, 6));
+      break;
+    case 2:
+      expect_safe_contract(cycle_instance({.num_agents = 9}, 7));
+      break;
+    case 3:
+      expect_safe_contract(path_instance(8));
+      break;
+    case 4:
+      expect_safe_contract(
+          sensor_instance({.num_sensors = 12, .num_sinks = 5}, 8));
+      break;
+    case 5:
+      expect_safe_contract(
+          bandwidth_instance({.num_routers = 10, .num_customers = 5}, 9));
+      break;
+    case 6:
+      expect_safe_contract(tree_instance({.max_agents = 18}, 10));
+      break;
+    default:
+      expect_safe_contract(layered_instance(
+          {.delta_k = 3, .layers = 4, .width = 2, .twist = 1}));
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SafeOnFamilies, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace locmm

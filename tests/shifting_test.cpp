@@ -1,0 +1,166 @@
+// Tests for the §6 analysis machinery: Lemma 8 (layer classes), Lemma 9
+// (the shifted solutions y(j)), Lemma 10 (the shift average), and the
+// Lemma 11 identity connecting the analysis to the algorithm's output (18).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/local_solver.hpp"
+#include "core/shifting.hpp"
+#include "gen/generators.hpp"
+
+namespace locmm {
+namespace {
+
+struct WheelFixture {
+  MaxMinInstance inst;
+  SpecialFormInstance sf;
+  LayerAssignment layers;
+  SpecialRunResult run;
+  std::int32_t R;
+
+  WheelFixture(std::int32_t dk, std::int32_t L, std::int32_t W,
+               std::int32_t R_)
+      : inst(layered_instance({.delta_k = dk, .layers = L, .width = W,
+                               .twist = 0})),
+        sf(inst),
+        layers(wheel_layers(dk, L, W)),
+        run(solve_special_centralized(sf, R_)),
+        R(R_) {}
+};
+
+TEST(Layers, WheelAssignmentValidates) {
+  for (int dk : {2, 3, 4}) {
+    const MaxMinInstance inst = layered_instance(
+        {.delta_k = dk, .layers = 6, .width = 2, .twist = 0});
+    const SpecialFormInstance sf(inst);
+    validate_layers(sf, wheel_layers(dk, 6, 2));  // must not throw
+  }
+}
+
+TEST(Layers, ValidatorCatchesRoleViolation) {
+  const MaxMinInstance inst = layered_instance(
+      {.delta_k = 2, .layers = 4, .width = 1, .twist = 0});
+  const SpecialFormInstance sf(inst);
+  LayerAssignment bad = wheel_layers(2, 4, 1);
+  bad.is_up[0] = !bad.is_up[0];  // two same-role agents on a constraint
+  EXPECT_THROW(validate_layers(sf, bad), CheckError);
+}
+
+TEST(Layers, ValidatorCatchesLayerGeometry) {
+  const MaxMinInstance inst = layered_instance(
+      {.delta_k = 2, .layers = 4, .width = 1, .twist = 0});
+  const SpecialFormInstance sf(inst);
+  LayerAssignment bad = wheel_layers(2, 4, 1);
+  bad.layer[0] = (bad.layer[0] + 4) % bad.modulus;  // class ok, value wrong
+  EXPECT_THROW(validate_layers(sf, bad), CheckError);
+}
+
+TEST(Layers, FlipValidOnDeltaK2) {
+  const MaxMinInstance inst = layered_instance(
+      {.delta_k = 2, .layers = 6, .width = 2, .twist = 0});
+  const SpecialFormInstance sf(inst);
+  const LayerAssignment flipped = flip_roles(wheel_layers(2, 6, 2));
+  validate_layers(sf, flipped);  // must not throw
+}
+
+TEST(Layers, FlipInvalidOnDeltaK3) {
+  const MaxMinInstance inst = layered_instance(
+      {.delta_k = 3, .layers = 6, .width = 1, .twist = 0});
+  const SpecialFormInstance sf(inst);
+  EXPECT_THROW(validate_layers(sf, flip_roles(wheel_layers(3, 6, 1))),
+               CheckError);
+}
+
+TEST(Lemma9, ShiftedSolutionsFeasibleWithSilentLayers) {
+  // L divisible by R so the (mod 4R) classes close around the wheel.
+  for (const auto& [dk, L, W, R] :
+       {std::tuple{2, 6, 1, 2}, std::tuple{3, 6, 2, 2},
+        std::tuple{2, 6, 2, 3}, std::tuple{3, 8, 1, 4}}) {
+    WheelFixture fx(dk, L, W, R);
+    validate_layers(fx.sf, fx.layers);
+    for (std::int32_t j = 0; j < R; ++j) {
+      const std::vector<double> y =
+          shifting_solution(fx.sf, fx.layers, fx.run.g, R, j);
+      // Feasibility (Lemma 9 part 1).
+      EXPECT_TRUE(fx.inst.is_feasible(y, 1e-9))
+          << "dk=" << dk << " R=" << R << " j=" << j
+          << " violation=" << fx.inst.violation(y);
+      // Objective ledger (Lemma 9 part 2).
+      const auto vals = fx.inst.objective_values(y);
+      for (ObjectiveId k = 0; k < fx.inst.num_objectives(); ++k) {
+        // Objective layer = its up-agent's layer + 1.
+        std::int32_t klayer = -1;
+        double smin = std::numeric_limits<double>::infinity();
+        for (const Entry& e : fx.inst.objective_row(k)) {
+          smin = std::min(smin, fx.run.s[e.agent]);
+          if (fx.layers.is_up[static_cast<std::size_t>(e.agent)]) {
+            klayer =
+                (fx.layers.layer[static_cast<std::size_t>(e.agent)] + 1) %
+                fx.layers.modulus;
+          }
+        }
+        const bool silent =
+            ((klayer - (4 * j - 4)) % (4 * R) + 4 * R) % (4 * R) == 0;
+        if (silent) {
+          EXPECT_NEAR(vals[k], 0.0, 1e-12)
+              << "silent objective " << k << " not silenced";
+        } else {
+          EXPECT_GE(vals[k], smin - 1e-9)
+              << "active objective " << k << " below min s";
+        }
+      }
+    }
+  }
+}
+
+TEST(Lemma10, AverageMatchesClosedFormAndBound) {
+  WheelFixture fx(3, 6, 2, 3);
+  validate_layers(fx.sf, fx.layers);
+
+  // (1/R) sum_j y(j) equals the closed form (20).
+  const auto n = static_cast<std::size_t>(fx.inst.num_agents());
+  std::vector<double> avg(n, 0.0);
+  for (std::int32_t j = 0; j < fx.R; ++j) {
+    const auto y = shifting_solution(fx.sf, fx.layers, fx.run.g, fx.R, j);
+    for (std::size_t v = 0; v < n; ++v) avg[v] += y[v];
+  }
+  for (auto& v : avg) v /= fx.R;
+  const auto closed = shifted_average(fx.sf, fx.layers, fx.run.g, fx.R);
+  for (std::size_t v = 0; v < n; ++v) EXPECT_NEAR(avg[v], closed[v], 1e-12);
+
+  // Feasibility and the (1 - 1/R) min s bound (Lemma 10).
+  EXPECT_TRUE(fx.inst.is_feasible(closed, 1e-9));
+  const auto vals = fx.inst.objective_values(closed);
+  for (ObjectiveId k = 0; k < fx.inst.num_objectives(); ++k) {
+    double smin = std::numeric_limits<double>::infinity();
+    for (const Entry& e : fx.inst.objective_row(k))
+      smin = std::min(smin, fx.run.s[e.agent]);
+    EXPECT_GE(vals[k], (1.0 - 1.0 / fx.R) * smin - 1e-9) << "objective " << k;
+  }
+}
+
+TEST(Lemma11, OutputIsTheRoleAverage) {
+  // On delta_K = 2 wheels both role assignments are valid, and (18) is the
+  // per-agent average of the two shifted averages -- the §6.2 argument.
+  WheelFixture fx(2, 8, 1, 4);
+  const LayerAssignment up_first = fx.layers;
+  const LayerAssignment down_first = flip_roles(fx.layers);
+  validate_layers(fx.sf, up_first);
+  validate_layers(fx.sf, down_first);
+
+  const auto ya = shifted_average(fx.sf, up_first, fx.run.g, fx.R);
+  const auto yb = shifted_average(fx.sf, down_first, fx.run.g, fx.R);
+  for (std::size_t v = 0; v < ya.size(); ++v) {
+    EXPECT_NEAR(0.5 * (ya[v] + yb[v]), fx.run.x[v], 1e-12) << "agent " << v;
+  }
+}
+
+TEST(Shifting, RejectsInconsistentModulus) {
+  WheelFixture fx(2, 6, 1, 4);  // 4R = 16 does not divide modulus 24
+  EXPECT_THROW(shifting_solution(fx.sf, fx.layers, fx.run.g, 4, 0),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace locmm

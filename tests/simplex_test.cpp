@@ -1,0 +1,175 @@
+// Tests for the dense simplex and the max-min LP reduction: hand-solved
+// LPs, status detection, duals, and certificate-gated random instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "lp/maxmin_solver.hpp"
+#include "lp/simplex.hpp"
+
+namespace locmm {
+namespace {
+
+TEST(Simplex, TwoVariableBox) {
+  // max x + y  s.t. x <= 1, y <= 2  ->  3 at (1, 2).
+  std::vector<SparseLpRow> rows{{{{0, 1.0}}, 1.0}, {{{1, 1.0}}, 2.0}};
+  const std::vector<double> c{1.0, 1.0};
+  const LpResult res = simplex_solve_max(2, rows, c);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 3.0, 1e-9);
+  EXPECT_NEAR(res.primal[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.primal[1], 2.0, 1e-9);
+  // Duals: both constraints tight with multiplier 1.
+  EXPECT_NEAR(res.dual[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.dual[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTextbookLp) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x, y >= 0 -> 12 at (4, 0).
+  std::vector<SparseLpRow> rows{{{{0, 1.0}, {1, 1.0}}, 4.0},
+                                {{{0, 1.0}, {1, 3.0}}, 6.0}};
+  const std::vector<double> c{3.0, 2.0};
+  const LpResult res = simplex_solve_max(2, rows, c);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 12.0, 1e-9);
+  EXPECT_NEAR(res.primal[0], 4.0, 1e-9);
+  EXPECT_NEAR(res.primal[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // max x with only y bounded.
+  std::vector<SparseLpRow> rows{{{{1, 1.0}}, 1.0}};
+  const std::vector<double> c{1.0, 0.0};
+  EXPECT_EQ(simplex_solve_max(2, rows, c).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x >= 2 (written -x <= -2) and x <= 1.
+  std::vector<SparseLpRow> rows{{{{0, -1.0}}, -2.0}, {{{0, 1.0}}, 1.0}};
+  const std::vector<double> c{1.0};
+  EXPECT_EQ(simplex_solve_max(1, rows, c).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, PhaseOneThenOptimal) {
+  // x >= 1, x <= 3, max -x ... use c = -1: optimum -1 at x = 1.
+  std::vector<SparseLpRow> rows{{{{0, -1.0}}, -1.0}, {{{0, 1.0}}, 3.0}};
+  const std::vector<double> c{-1.0};
+  const LpResult res = simplex_solve_max(1, rows, c);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -1.0, 1e-9);
+  EXPECT_NEAR(res.primal[0], 1.0, 1e-9);
+}
+
+TEST(Simplex, NegatedRowDualSign) {
+  // max x s.t. x <= 2 and x >= 1; binding row is x <= 2 with dual 1, the
+  // >= row is slack with dual 0.
+  std::vector<SparseLpRow> rows{{{{0, 1.0}}, 2.0}, {{{0, -1.0}}, -1.0}};
+  const std::vector<double> c{1.0};
+  const LpResult res = simplex_solve_max(1, rows, c);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.0, 1e-9);
+  EXPECT_NEAR(res.dual[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.dual[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  std::vector<SparseLpRow> rows{{{{0, 1.0}, {1, 1.0}}, 1.0},
+                                {{{0, 1.0}, {1, 1.0}}, 1.0},
+                                {{{0, 2.0}, {1, 2.0}}, 2.0},
+                                {{{0, 1.0}}, 1.0}};
+  const std::vector<double> c{1.0, 1.0};
+  const LpResult res = simplex_solve_max(2, rows, c);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 1.0, 1e-9);
+}
+
+TEST(MaxMinSolver, HandSolvedTiny) {
+  // max min(x0 + x1, 3 x2) s.t. x0 + 2 x1 <= 1, x1 + x2 <= 1.
+  // Optimal: x0 = 1, x1 = 0, x2 = 1/3 -> omega = 1.
+  InstanceBuilder b(3);
+  b.add_constraint({{0, 1.0}, {1, 2.0}});
+  b.add_constraint({{1, 1.0}, {2, 1.0}});
+  b.add_objective({{0, 1.0}, {1, 1.0}});
+  b.add_objective({{2, 3.0}});
+  const MaxMinInstance inst = b.build();
+  const MaxMinLpResult res = solve_lp_optimum(inst);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.omega, 1.0, 1e-9);
+  EXPECT_TRUE(inst.is_feasible(res.x, 1e-9));
+  EXPECT_NEAR(inst.utility(res.x), 1.0, 1e-9);
+  EXPECT_TRUE(check_certificate(inst, res).ok());
+}
+
+TEST(MaxMinSolver, UnitCycleOptimumIsOne) {
+  const MaxMinInstance inst = cycle_instance({.num_agents = 8}, 1);
+  const MaxMinLpResult res = solve_lp_optimum(inst);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.omega, 1.0, 1e-9);
+  EXPECT_TRUE(check_certificate(inst, res).ok());
+}
+
+TEST(MaxMinSolver, PathWithSingletonEnds) {
+  // n = 4: max min(x1+x2, x0, x3) s.t. x0+x1 <= 1, x2+x3 <= 1 -> 2/3.
+  const MaxMinInstance inst = path_instance(4);
+  const MaxMinLpResult res = solve_lp_optimum(inst);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.omega, 2.0 / 3.0, 1e-9);
+  EXPECT_TRUE(check_certificate(inst, res).ok());
+}
+
+TEST(MaxMinSolver, LayeredWheelOptimum) {
+  // The layered family has optimum delta_k - 1 (x = 1 on down-agents).
+  for (int dk : {2, 3, 4}) {
+    const MaxMinInstance inst = layered_instance(
+        {.delta_k = dk, .layers = 4, .width = 3, .twist = 1});
+    const MaxMinLpResult res = solve_lp_optimum(inst);
+    ASSERT_EQ(res.status, LpStatus::kOptimal);
+    EXPECT_NEAR(res.omega, dk - 1.0, 1e-8) << "delta_k=" << dk;
+  }
+}
+
+TEST(MaxMinSolver, GridOptimum) {
+  const MaxMinInstance inst = grid_instance({.rows = 4, .cols = 4}, 3);
+  const MaxMinLpResult res = solve_lp_optimum(inst);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.omega, 1.0, 1e-9);  // x = 1/2 everywhere
+}
+
+class RandomCertificate : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCertificate, OptimalityIsCertified) {
+  RandomGeneralParams p;
+  p.num_agents = 24;
+  const MaxMinInstance inst = random_general(p, GetParam());
+  const MaxMinLpResult res = solve_lp_optimum(inst);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  const CertificateReport rep = check_certificate(inst, res);
+  EXPECT_TRUE(rep.ok()) << "primal=" << rep.primal_violation
+                        << " dual=" << rep.dual_violation
+                        << " gap=" << rep.gap;
+  EXPECT_GE(res.omega, -1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCertificate,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+class SpecialFormCertificate
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpecialFormCertificate, OptimalityIsCertified) {
+  RandomSpecialParams p;
+  p.num_agents = 24;
+  const MaxMinInstance inst = random_special_form(p, GetParam());
+  const MaxMinLpResult res = solve_lp_optimum(inst);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_TRUE(check_certificate(inst, res).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecialFormCertificate,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+}  // namespace
+}  // namespace locmm

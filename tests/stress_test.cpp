@@ -1,0 +1,136 @@
+// Stress and robustness: extreme coefficient ranges, larger end-to-end
+// instances, the exact-LP t route through the whole solver, and port
+// renumbering (the contract must hold under any port order, even though
+// the specific output may legitimately differ).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/local_solver.hpp"
+#include "core/solver_api.hpp"
+#include "gen/generators.hpp"
+#include "lp/maxmin_solver.hpp"
+
+namespace locmm {
+namespace {
+
+TEST(Stress, ExtremeCoefficientRangeKeepsContract) {
+  // Six orders of magnitude between the smallest and largest coefficient.
+  for (std::uint64_t seed : {1, 2, 3, 4}) {
+    RandomGeneralParams p;
+    p.num_agents = 16;
+    p.coeff_lo = 1e-3;
+    p.coeff_hi = 1e3;
+    const MaxMinInstance inst = random_general(p, seed);
+    const MaxMinLpResult opt = solve_lp_optimum(inst);
+    ASSERT_EQ(opt.status, LpStatus::kOptimal);
+    ASSERT_TRUE(check_certificate(inst, opt).ok(1e-5)) << "seed " << seed;
+    const LocalSolution sol = solve_local(inst, {.R = 3});
+    EXPECT_TRUE(inst.is_feasible(sol.x, 1e-7));
+    EXPECT_GE(sol.omega * sol.guarantee, opt.omega * (1.0 - 1e-6));
+  }
+}
+
+TEST(Stress, TinyCoefficientsDoNotUnderflowToZeroUtility) {
+  RandomSpecialParams p;
+  p.num_agents = 16;
+  p.coeff_lo = 1e-6;
+  p.coeff_hi = 2e-6;  // capacities around 5e5
+  const MaxMinInstance inst = random_special_form(p, 9);
+  const SpecialFormInstance sf(inst);
+  const SpecialRunResult run = solve_special_centralized(sf, 3);
+  EXPECT_TRUE(inst.is_feasible(run.x, 1e-6));
+  EXPECT_GT(inst.utility(run.x), 0.0);
+}
+
+TEST(Stress, ExactLpRouteEndToEnd) {
+  // TSearchOptions::exact_lp swaps the bisection for the §5.2 LP route;
+  // results must agree to solver precision and keep feasibility (up to the
+  // LP's arithmetic, see the header note).
+  RandomSpecialParams p;
+  p.num_agents = 14;
+  const MaxMinInstance inst = random_special_form(p, 17);
+  const SpecialFormInstance sf(inst);
+  TSearchOptions exact;
+  exact.exact_lp = true;
+  const SpecialRunResult via_lp = solve_special_centralized(sf, 3, exact);
+  const SpecialRunResult via_bisect = solve_special_centralized(sf, 3, {});
+  for (std::size_t v = 0; v < via_lp.x.size(); ++v) {
+    EXPECT_NEAR(via_lp.t[v], via_bisect.t[v], 1e-6);
+    EXPECT_NEAR(via_lp.x[v], via_bisect.x[v], 1e-6);
+  }
+  EXPECT_TRUE(inst.is_feasible(via_lp.x, 1e-7));
+}
+
+TEST(Stress, LargerEndToEndAcrossFamilies) {
+  // Bigger than the unit tests, still test-suite friendly.  Ground truth is
+  // skipped (simplex would dominate the runtime); the structural contract
+  // -- feasibility and t/s/utility sanity -- is checked instead.
+  const std::vector<MaxMinInstance> instances = {
+      random_general({.num_agents = 300, .delta_i = 3, .delta_k = 3}, 71),
+      grid_instance({.rows = 20, .cols = 20}, 72),
+      sensor_instance({.num_sensors = 150, .num_sinks = 40}, 73),
+      layered_instance({.delta_k = 3, .layers = 24, .width = 4, .twist = 1}),
+  };
+  for (const MaxMinInstance& inst : instances) {
+    const LocalSolution sol = solve_local(inst, {.R = 3, .threads = 0});
+    EXPECT_TRUE(inst.is_feasible(sol.x, 1e-8));
+    EXPECT_GT(sol.omega, 0.0);
+    EXPECT_GE(sol.t_min_special, sol.omega_special - 1e-7);
+  }
+}
+
+TEST(Stress, PortRenumberingPreservesTheContract) {
+  // Reversing every row reverses all port numbers.  A port-numbering
+  // algorithm may output a *different* solution, but feasibility and the
+  // guarantee must survive.
+  const MaxMinInstance inst =
+      random_general({.num_agents = 16, .delta_i = 3, .delta_k = 3}, 81);
+  InstanceBuilder b(inst.num_agents());
+  for (ConstraintId i = 0; i < inst.num_constraints(); ++i) {
+    auto row = inst.constraint_row(i);
+    std::vector<Entry> rev(row.rbegin(), row.rend());
+    b.add_constraint(std::move(rev));
+  }
+  for (ObjectiveId k = 0; k < inst.num_objectives(); ++k) {
+    auto row = inst.objective_row(k);
+    std::vector<Entry> rev(row.rbegin(), row.rend());
+    b.add_objective(std::move(rev));
+  }
+  const MaxMinInstance reversed = b.build();
+
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  ASSERT_EQ(opt.status, LpStatus::kOptimal);
+  for (const MaxMinInstance* variant : {&inst, &reversed}) {
+    const LocalSolution sol = solve_local(*variant, {.R = 3});
+    EXPECT_TRUE(variant->is_feasible(sol.x, 1e-8));
+    EXPECT_GE(sol.omega * sol.guarantee, opt.omega - 1e-7);
+  }
+}
+
+TEST(Stress, RepeatedLargeRunsStayBitwiseStable) {
+  const MaxMinInstance inst = grid_instance({.rows = 16, .cols = 16}, 91);
+  const LocalSolution a = solve_local(inst, {.R = 4, .threads = 0});
+  const LocalSolution c = solve_local(inst, {.R = 4, .threads = 0});
+  ASSERT_EQ(a.x.size(), c.x.size());
+  for (std::size_t v = 0; v < a.x.size(); ++v)
+    EXPECT_DOUBLE_EQ(a.x[v], c.x[v]);
+}
+
+TEST(Stress, HighDegreeObjectiveInstances) {
+  // delta_K = 8 pushes the sibling sums and the threshold 2(1-1/8).
+  RandomSpecialParams p;
+  p.num_agents = 64;
+  p.delta_k = 8;
+  const MaxMinInstance inst = random_special_form(p, 92);
+  const SpecialFormInstance sf(inst);
+  const SpecialRunResult run = solve_special_centralized(sf, 3);
+  const MaxMinLpResult opt = solve_lp_optimum(inst);
+  ASSERT_EQ(opt.status, LpStatus::kOptimal);
+  EXPECT_TRUE(inst.is_feasible(run.x, 1e-9));
+  EXPECT_GE(inst.utility(run.x) * special_form_guarantee(8, 3),
+            opt.omega - 1e-7);
+}
+
+}  // namespace
+}  // namespace locmm

@@ -1,0 +1,176 @@
+// Tests for the support kernel: PRNG determinism, statistics, thread pool,
+// table rendering, check macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace locmm {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    LOCMM_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { LOCMM_CHECK(2 + 2 == 4); }
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.5, 3.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, BelowCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 10 - trials / 50);
+    EXPECT_LT(c, trials / 10 + trials / 50);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(5);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  shuffle(w.begin(), w.end(), rng);
+  std::set<int> s(w.begin(), w.end());
+  EXPECT_EQ(s.size(), v.size());
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), CheckError);
+}
+
+TEST(Quantile, MatchesOrderStatistics) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SerialFallback) {
+  int count = 0;
+  parallel_for(10, 1, [&](std::size_t) { ++count; });  // inline path
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ThreadPool, ZeroIterations) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(Table, RendersRowsAndNotes) {
+  Table t("demo");
+  t.columns({"a", "bb"});
+  t.row({Table::cell(1), Table::cell(2.5, 2)});
+  t.note("hello");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| a | bb"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("note: hello"), std::string::npos);
+}
+
+TEST(Table, RejectsMisshapenRow) {
+  Table t("x");
+  t.columns({"a"});
+  EXPECT_THROW(t.row({Table::cell(1), Table::cell(2)}), CheckError);
+}
+
+}  // namespace
+}  // namespace locmm

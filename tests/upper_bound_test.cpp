@@ -1,0 +1,190 @@
+// Tests for the t_u machinery (§5.1-§5.2): hand-computed values, the
+// upper-bound property t_u >= omega* (Lemmas 2-3), monotonicity of the f
+// recursion in omega, and agreement between the production cone evaluation
+// and an independent test-side reimplementation driven by the global f
+// tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/special_form.hpp"
+#include "core/upper_bound.hpp"
+#include "gen/generators.hpp"
+#include "lp/maxmin_solver.hpp"
+#include "transform/transform.hpp"
+
+namespace locmm {
+namespace {
+
+// Two agents sharing one objective and one unit constraint.
+MaxMinInstance pair_instance() {
+  InstanceBuilder b(2);
+  b.add_constraint({{0, 1.0}, {1, 1.0}});
+  b.add_objective({{0, 1.0}, {1, 1.0}});
+  return b.build();
+}
+
+TEST(UpperBound, HandComputedPair) {
+  // r = 0: t_0 = max{w : f-_{0,0}(w) = max(0, w - invcap(1)) <= invcap(0)}
+  //       = invcap(0) + invcap(1) = 2.
+  const MaxMinInstance inst = pair_instance();
+  const SpecialFormInstance sf(inst);
+  EXPECT_NEAR(compute_t_single(sf, 0, 0), 2.0, 1e-9);
+  EXPECT_NEAR(compute_t_single(sf, 1, 0), 2.0, 1e-9);
+}
+
+TEST(UpperBound, HandComputedPairScaledCoefficients) {
+  // Constraint 2 x0 + 4 x1 <= 1: invcap(0) = 1/2, invcap(1) = 1/4.
+  InstanceBuilder b(2);
+  b.add_constraint({{0, 2.0}, {1, 4.0}});
+  b.add_objective({{0, 1.0}, {1, 1.0}});
+  const SpecialFormInstance sf(b.build());
+  EXPECT_NEAR(compute_t_single(sf, 0, 0), 0.75, 1e-9);
+}
+
+TEST(UpperBound, DeeperTreeTightensTheBound) {
+  // Larger r sees more constraints, so t can only get more accurate
+  // (non-increasing) on instances where the extra context binds.
+  const MaxMinInstance inst = layered_instance(
+      {.delta_k = 3, .layers = 6, .width = 2, .twist = 1});
+  const SpecialFormInstance sf(inst);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::int32_t r = 0; r <= 3; ++r) {
+    const double t = compute_t_single(sf, 0, r);
+    EXPECT_LE(t, prev + 1e-9) << "r=" << r;
+    prev = t;
+  }
+}
+
+TEST(UpperBound, FMonotoneInOmega) {
+  RandomSpecialParams p;
+  p.num_agents = 20;
+  const MaxMinInstance inst = random_special_form(p, 5);
+  const SpecialFormInstance sf(inst);
+  const std::int32_t r = 2;
+  const FTables lo = evaluate_f_global(sf, r, 0.4);
+  const FTables hi = evaluate_f_global(sf, r, 1.7);
+  for (std::int32_t d = 0; d <= r; ++d) {
+    for (AgentId v = 0; v < inst.num_agents(); ++v) {
+      // f+ non-increasing, f- non-decreasing in omega.
+      EXPECT_GE(lo.plus[d][v], hi.plus[d][v] - 1e-12);
+      EXPECT_LE(lo.minus[d][v], hi.minus[d][v] + 1e-12);
+    }
+  }
+}
+
+TEST(UpperBound, FPlusMonotoneInDepth) {
+  // The analogue of Lemma 6 for f: deeper recursion can only lower f+.
+  RandomSpecialParams p;
+  p.num_agents = 24;
+  const MaxMinInstance inst = random_special_form(p, 6);
+  const SpecialFormInstance sf(inst);
+  const FTables ft = evaluate_f_global(sf, 3, 0.8);
+  for (std::int32_t d = 1; d <= 3; ++d) {
+    for (AgentId v = 0; v < inst.num_agents(); ++v) {
+      EXPECT_LE(ft.plus[d][v], ft.plus[d - 1][v] + 1e-12);
+      if (d >= 2) EXPECT_GE(ft.minus[d][v], ft.minus[d - 1][v] - 1e-12);
+    }
+  }
+}
+
+// Independent reimplementation: alternating-walk state reachability plus
+// bisection over the *global* f tables.  Cross-checks TCone's dedup/order.
+double t_reference(const SpecialFormInstance& sf, AgentId u, std::int32_t r,
+                   double tol = 1e-12) {
+  // Reach set: states (v, d, plus?) from the root (u, r, minus).
+  std::set<std::tuple<AgentId, std::int32_t, bool>> reach;
+  std::vector<std::tuple<AgentId, std::int32_t, bool>> stack{{u, r, false}};
+  while (!stack.empty()) {
+    auto [v, d, plus] = stack.back();
+    stack.pop_back();
+    if (!reach.insert({v, d, plus}).second) continue;
+    if (plus) {
+      if (d > 0)
+        for (const ConstraintArc& arc : sf.arcs(v))
+          stack.push_back({arc.partner, d - 1, false});
+    } else {
+      for (AgentId w : sf.siblings(v)) stack.push_back({w, d, true});
+    }
+  }
+  auto feasible = [&](double omega) {
+    const FTables ft = evaluate_f_global(sf, r, omega);
+    for (const auto& [v, d, plus] : reach) {
+      if (plus && !(ft.plus[d][v] >= 0.0)) return false;
+    }
+    return ft.minus[r][u] <= sf.inv_cap(u);
+  };
+  double lo = 0.0, hi = sf.t_search_upper(u);
+  if (feasible(hi)) return hi;
+  while (hi - lo > tol * std::max(1.0, hi)) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+class TReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TReference, ConeMatchesGlobalTableEvaluation) {
+  RandomSpecialParams p;
+  p.num_agents = 14;
+  p.delta_k = 3;
+  const MaxMinInstance inst = random_special_form(p, GetParam());
+  const SpecialFormInstance sf(inst);
+  for (std::int32_t r : {0, 1, 2}) {
+    for (AgentId u = 0; u < inst.num_agents(); u += 3) {
+      const double a = compute_t_single(sf, u, r);
+      const double b = t_reference(sf, u, r);
+      EXPECT_NEAR(a, b, 1e-8) << "u=" << u << " r=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TReference,
+                         ::testing::Values(101, 102, 103, 104));
+
+class TUpperBoundsOptimum : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TUpperBoundsOptimum, EveryTuDominatesOmegaStar) {
+  RandomSpecialParams p;
+  p.num_agents = 20;
+  const MaxMinInstance inst = random_special_form(p, GetParam());
+  const SpecialFormInstance sf(inst);
+  const MaxMinLpResult res = solve_lp_optimum(inst);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  for (std::int32_t r : {0, 1, 2, 3}) {
+    const std::vector<double> t = compute_t_all(sf, r);
+    for (AgentId u = 0; u < inst.num_agents(); ++u) {
+      EXPECT_GE(t[u], res.omega - 1e-7)
+          << "u=" << u << " r=" << r << " (Lemmas 2-3 violated)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TUpperBoundsOptimum,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(UpperBound, ParallelMatchesSerial) {
+  RandomSpecialParams p;
+  p.num_agents = 40;
+  const MaxMinInstance inst = random_special_form(p, 33);
+  const SpecialFormInstance sf(inst);
+  const std::vector<double> serial = compute_t_all(sf, 2, {}, 1);
+  const std::vector<double> parallel = compute_t_all(sf, 2, {}, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t v = 0; v < serial.size(); ++v)
+    EXPECT_DOUBLE_EQ(serial[v], parallel[v]);
+}
+
+TEST(UpperBound, ZeroFeasibleAlways) {
+  RandomSpecialParams p;
+  p.num_agents = 10;
+  const MaxMinInstance inst = random_special_form(p, 44);
+  const SpecialFormInstance sf(inst);
+  for (AgentId u = 0; u < inst.num_agents(); ++u)
+    EXPECT_GE(compute_t_single(sf, u, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace locmm
