@@ -1,0 +1,16 @@
+#!/bin/sh
+# Runs the DP-engine benchmark and emits BENCH_dp_engine.json at the repo
+# root so successive PRs can track the perf trajectory.
+#
+# Usage: bench/run_bench.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -x "$BUILD_DIR/bench_dp_engine" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target bench_dp_engine
+fi
+
+"$BUILD_DIR/bench_dp_engine" BENCH_dp_engine.json

@@ -1,12 +1,15 @@
 #include "core/g_recursion.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+
+#include "support/thread_pool.hpp"
 
 namespace locmm {
 
 GTables compute_g(const SpecialFormInstance& sf, const std::vector<double>& s,
-                  std::int32_t r) {
+                  std::int32_t r, std::size_t threads, TSearchStats* stats) {
   const auto n = static_cast<std::size_t>(sf.num_agents());
   LOCMM_CHECK(s.size() == n);
   LOCMM_CHECK(r >= 0);
@@ -18,10 +21,11 @@ GTables compute_g(const SpecialFormInstance& sf, const std::vector<double>& s,
   for (std::int32_t d = 0; d <= r; ++d) {
     const auto sd = static_cast<std::size_t>(d);
     if (d == 0) {
-      for (std::size_t v = 0; v < n; ++v)
+      parallel_for(n, threads, [&](std::size_t v) {
         g.plus[0][v] = sf.inv_cap(static_cast<AgentId>(v));  // (12)
+      });
     } else {
-      for (std::size_t v = 0; v < n; ++v) {
+      parallel_for(n, threads, [&](std::size_t v) {
         double val = std::numeric_limits<double>::infinity();
         for (const ConstraintArc& arc : sf.arcs(static_cast<AgentId>(v))) {
           val = std::min(
@@ -31,14 +35,18 @@ GTables compute_g(const SpecialFormInstance& sf, const std::vector<double>& s,
                        arc.a_self);  // (14)
         }
         g.plus[sd][v] = val;
-      }
+      });
     }
-    for (std::size_t v = 0; v < n; ++v) {
+    parallel_for(n, threads, [&](std::size_t v) {
       double sum = 0.0;
       for (AgentId w : sf.siblings(static_cast<AgentId>(v)))
         sum += g.plus[sd][static_cast<std::size_t>(w)];
       g.minus[sd][v] = std::max(0.0, s[v] - sum);  // (13)
-    }
+    });
+  }
+  if (stats != nullptr) {
+    stats->g_evals.fetch_add(2 * static_cast<std::int64_t>(n) * (r + 1),
+                             std::memory_order_relaxed);
   }
   return g;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/special_form.hpp"
+#include "core/upper_bound.hpp"
 
 namespace locmm {
 
@@ -27,8 +28,12 @@ struct GTables {
   std::vector<std::vector<double>> minus;
 };
 
+// The per-depth sweeps are data-parallel over agents (each state reads only
+// the previous row / the g+ row of the same depth); threads: 1 = serial,
+// 0 = all hardware threads.  `stats` (optional) accumulates g_evals.
 GTables compute_g(const SpecialFormInstance& sf, const std::vector<double>& s,
-                  std::int32_t r);
+                  std::int32_t r, std::size_t threads = 1,
+                  TSearchStats* stats = nullptr);
 
 // The output (18); R = r + 2.
 std::vector<double> output_x(const GTables& g, std::int32_t r);

@@ -13,8 +13,8 @@ SpecialRunResult solve_special_centralized(const SpecialFormInstance& sf,
   run.R = R;
   run.r = R - 2;
   run.t = compute_t_all(sf, run.r, opt, threads);
-  run.s = smooth_min(sf, run.t, run.r);
-  run.g = compute_g(sf, run.s, run.r);
+  run.s = smooth_min(sf, run.t, run.r, threads);
+  run.g = compute_g(sf, run.s, run.r, threads, opt.stats);
   run.x = output_x(run.g, run.r);
   return run;
 }

@@ -2,23 +2,26 @@
 
 #include <algorithm>
 
+#include "support/thread_pool.hpp"
+
 namespace locmm {
 
 std::vector<double> smooth_min(const SpecialFormInstance& sf,
-                               const std::vector<double>& t, std::int32_t r) {
+                               const std::vector<double>& t, std::int32_t r,
+                               std::size_t threads) {
   const auto n = static_cast<std::size_t>(sf.num_agents());
   LOCMM_CHECK(t.size() == n);
   std::vector<double> s = t;
   std::vector<double> next(n);
   for (std::int32_t round = 0; round < 2 * r + 1; ++round) {
-    for (std::size_t v = 0; v < n; ++v) {
+    parallel_for(n, threads, [&](std::size_t v) {
       double m = s[v];
       for (const ConstraintArc& arc : sf.arcs(static_cast<AgentId>(v)))
         m = std::min(m, s[static_cast<std::size_t>(arc.partner)]);
       for (AgentId w : sf.siblings(static_cast<AgentId>(v)))
         m = std::min(m, s[static_cast<std::size_t>(w)]);
       next[v] = m;
-    }
+    });
     s.swap(next);
   }
   return s;

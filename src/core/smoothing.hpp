@@ -19,7 +19,10 @@
 
 namespace locmm {
 
+// Each of the 2r+1 rounds is data-parallel over agents (reads `s`, writes
+// `next`); threads: 1 = serial, 0 = all hardware threads.
 std::vector<double> smooth_min(const SpecialFormInstance& sf,
-                               const std::vector<double>& t, std::int32_t r);
+                               const std::vector<double>& t, std::int32_t r,
+                               std::size_t threads = 1);
 
 }  // namespace locmm

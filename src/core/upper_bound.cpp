@@ -109,15 +109,30 @@ double compute_t_single(const SpecialFormInstance& sf, AgentId u,
   const TCone cone(sf, u, r);
   std::vector<double> scratch;
 
+  std::int64_t checks = 0;
+  auto flush_stats = [&] {
+    if (opt.stats == nullptr) return;
+    opt.stats->t_searches.fetch_add(1, std::memory_order_relaxed);
+    opt.stats->t_checks.fetch_add(checks, std::memory_order_relaxed);
+    opt.stats->f_evals.fetch_add(checks * cone.num_states(),
+                                 std::memory_order_relaxed);
+  };
+
   double lo = 0.0;
   double hi = sf.t_search_upper(u);
+  ++checks;
   LOCMM_CHECK(cone.check(0.0, scratch));  // omega = 0 is always feasible
-  if (cone.check(hi, scratch)) return hi;
+  ++checks;
+  if (cone.check(hi, scratch)) {
+    flush_stats();
+    return hi;
+  }
 
   const double eps = opt.tol * std::max(1.0, hi);
   int iters = 0;
   while (hi - lo > eps && iters < opt.max_iters) {
     const double mid = 0.5 * (lo + hi);
+    ++checks;
     if (cone.check(mid, scratch)) {
       lo = mid;
     } else {
@@ -125,6 +140,7 @@ double compute_t_single(const SpecialFormInstance& sf, AgentId u,
     }
     ++iters;
   }
+  flush_stats();
   // Return the feasible endpoint: all conditions (8)-(9) hold at lo exactly,
   // so the feasibility half of the analysis is preserved without error.
   return lo;

@@ -24,12 +24,48 @@
 //     approximation guarantee degrades, by at most `tol`.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "core/special_form.hpp"
 
 namespace locmm {
+
+// Which implementation evaluates the §5 recursions on an explicit local view
+// (engine L, view_solver.hpp).
+enum class ViewEngine : std::uint8_t {
+  // Iterative, memoized, bottom-up dynamic program over flat
+  // (view-node, depth) tables: each state is evaluated at most once per
+  // probed omega, t-searches for all agents of an s-ball share their
+  // omega-tables, and scratch buffers are reused across agents.  Default.
+  kMemoizedDp,
+  // Literal tree-recursive transcription of (5)-(14): re-expands the
+  // recursion from scratch on every call.  Kept as the differential-testing
+  // oracle for the DP engine (it is the closest reading of the paper).
+  kNaive,
+};
+
+// Operation counters for the evaluation engines.  All fields are atomic so a
+// single stats object can be shared across the per-agent parallel loops;
+// engines accumulate locally and flush once per evaluated agent.
+struct TSearchStats {
+  std::atomic<std::int64_t> f_evals{0};   // f± state evaluations / calls
+  std::atomic<std::int64_t> g_evals{0};   // g± state evaluations / calls
+  std::atomic<std::int64_t> t_searches{0};  // bisection searches run
+  std::atomic<std::int64_t> t_checks{0};    // condition (8)-(9) evaluations
+  std::atomic<std::int64_t> omega_sweeps{0};  // DP: distinct-omega table fills
+  std::atomic<std::int64_t> view_nodes{0};    // sum of evaluated view sizes
+
+  void reset() {
+    f_evals = 0;
+    g_evals = 0;
+    t_searches = 0;
+    t_checks = 0;
+    omega_sweeps = 0;
+    view_nodes = 0;
+  }
+};
 
 struct TSearchOptions {
   // Bisection stops when the bracket is below tol * max(1, initial hi).
@@ -44,6 +80,10 @@ struct TSearchOptions {
   // round-off (~1e-9), which propagates into an equally tiny constraint
   // slack violation.
   bool exact_lp = false;
+  // Engine-L implementation selector (ignored by engine C).
+  ViewEngine engine = ViewEngine::kMemoizedDp;
+  // Optional operation-count instrumentation; not owned.  Thread-safe.
+  TSearchStats* stats = nullptr;
 };
 
 // The dependency cone of agent u: all states (v, d, role) reachable from the

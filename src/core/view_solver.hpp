@@ -3,11 +3,32 @@
 // Every agent builds its radius-D local view (the truncated unfolding of §3)
 // and computes its output x_v from that view *alone*, exactly as a node of
 // the distributed system would after D communication rounds (§4.1: gather
-// the local view, then simulate).  This engine is an independent,
-// tree-recursive implementation of the recursions (5)-(7) and (12)-(14); it
-// never consults the global graph during evaluation, which makes it the
-// faithfulness reference that engine C (local_solver.hpp) and engine M
-// (dist/) are tested against.
+// the local view, then simulate).  Two interchangeable implementations of
+// the recursions (5)-(7) and (12)-(14) live here, selected by
+// TSearchOptions::engine:
+//
+//   * ViewEngine::kMemoizedDp (default) -- an iterative, memoized, bottom-up
+//     dynamic program over the *shared structure* of the view tree.  Every
+//     §5 quantity is position-independent (Example 2 of the paper), so all
+//     copies of a G-node share one table row: f± and g± live in flat tables
+//     indexed by (origin slot) * (r+1) + d; each probed omega fills its
+//     tables in one reverse-topological sweep (depth-major buckets), the
+//     t-searches of all agents of an s-ball run batched against shared
+//     omega-tables (searches whose next probe coincides share one sweep),
+//     and all scratch storage is reused across agents via ViewEvalScratch.
+//     Total work is polynomial in the number of *distinct* G-nodes the view
+//     projects to -- never exponential in r, even though the view tree
+//     itself grows like Delta^D.
+//
+//   * ViewEngine::kNaive -- the literal tree-recursive transcription of the
+//     paper's recursions, kept as the differential-testing oracle.  It
+//     re-expands the recursion on every call and runs a fresh bisection per
+//     agent, so it is exponentially slower across the omega probes of an
+//     s-ball; tests assert the DP engine matches it (and engine C,
+//     local_solver.hpp) to high precision.
+//
+// Both implementations never consult the global graph during evaluation,
+// which makes engine L the faithfulness reference for the other engines.
 //
 // The view radius is
 //     D(R) = 12 r + 5,   r = R - 2:
@@ -19,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/upper_bound.hpp"
@@ -26,24 +48,50 @@
 
 namespace locmm {
 
+namespace detail {
+struct DpScratch;  // internal tables of the memoized DP engine
+}
+
+// Reusable scratch buffers for the DP engine: tables, adjacency slices,
+// worklists.  Hand the same object to successive evaluations (one per
+// thread) to avoid re-allocating per agent; any evaluation resets the
+// contents but keeps the capacity.
+class ViewEvalScratch {
+ public:
+  ViewEvalScratch();
+  ~ViewEvalScratch();
+  ViewEvalScratch(ViewEvalScratch&&) noexcept;
+  ViewEvalScratch& operator=(ViewEvalScratch&&) noexcept;
+
+  detail::DpScratch& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<detail::DpScratch> impl_;
+};
+
 // The local horizon of the §5 algorithm as implemented here.
 std::int32_t view_radius(std::int32_t R);
 
 // Computes the output of the agent at the root of `view` (which must be an
-// agent node of a special-form instance's communication graph).
+// agent node of a special-form instance's communication graph).  `scratch`
+// is optional; passing one amortises allocations across calls.
 double solve_agent_from_view(const ViewTree& view, std::int32_t R,
-                             const TSearchOptions& opt = {});
+                             const TSearchOptions& opt = {},
+                             ViewEvalScratch* scratch = nullptr);
 
 // Computes only the upper bound t_u for the agent at the root of `view`
 // (radius 4r+3 suffices).  Used by the streaming engine (dist/streaming),
 // which floods t/s/g as scalars instead of gathering radius-D views.
 double t_root_from_view(const ViewTree& view, std::int32_t r,
-                        const TSearchOptions& opt = {});
+                        const TSearchOptions& opt = {},
+                        ViewEvalScratch* scratch = nullptr);
 
 // Runs engine L for every agent of a special-form instance: builds each
-// agent's view and evaluates it.  Exponential in R (views are trees), so
-// intended for validation and small/medium instances; engine C is the fast
-// path.  threads: 1 = serial, 0 = all hardware threads.
+// agent's view (into a per-thread arena) and evaluates it.  The views
+// themselves are exponential in R on expander-like graphs, so engine C is
+// the fast path for whole-instance solves; with the DP engine the
+// per-agent evaluation is linear in the view size.  threads: 1 = serial,
+// 0 = all hardware threads.
 std::vector<double> solve_special_local_views(const MaxMinInstance& special,
                                               std::int32_t R,
                                               const TSearchOptions& opt = {},

@@ -6,11 +6,38 @@ namespace locmm {
 
 ViewTree ViewTree::build(const CommGraph& g, NodeId root, std::int32_t depth,
                          std::int64_t max_nodes) {
+  ViewTree t;
+  build_into(g, root, depth, t, max_nodes);
+  return t;
+}
+
+void ViewTree::build_into(const CommGraph& g, NodeId root, std::int32_t depth,
+                          ViewTree& out, std::int64_t max_nodes) {
   LOCMM_CHECK(root >= 0 && root < g.num_nodes());
   LOCMM_CHECK(depth >= 0);
 
-  ViewTree t;
+  ViewTree& t = out;
+  t.nodes_.clear();
+  t.child_index_.clear();
   t.depth_ = depth;
+  // New representative-map generation; O(1) arena reuse (stale entries keep
+  // their old epoch stamp and read as absent).
+  ++t.rep_epoch_now_;
+  if (t.rep_epoch_now_ == 0) {
+    t.rep_epoch_.assign(t.rep_epoch_.size(), 0);
+    t.rep_epoch_now_ = 1;
+  }
+  auto note_origin = [&](NodeId origin, std::int32_t idx) {
+    const auto o = static_cast<std::size_t>(origin);
+    if (o >= t.rep_.size()) {
+      t.rep_.resize(o + 1);
+      t.rep_epoch_.resize(o + 1, 0);
+    }
+    if (t.rep_epoch_[o] != t.rep_epoch_now_) {
+      t.rep_epoch_[o] = t.rep_epoch_now_;
+      t.rep_[o] = idx;  // BFS order: the first copy is the shallowest
+    }
+  };
 
   auto make_node = [&](NodeId origin, std::int32_t parent,
                        std::int32_t parent_port, double parent_coeff,
@@ -29,6 +56,7 @@ ViewTree ViewTree::build(const CommGraph& g, NodeId root, std::int32_t depth,
   };
 
   t.nodes_.push_back(make_node(root, -1, -1, 0.0, 0));
+  note_origin(root, 0);
 
   // BFS expansion; children of the node popped at position `head` are
   // appended contiguously, in port order, skipping the parent port.
@@ -63,6 +91,7 @@ ViewTree ViewTree::build(const CommGraph& g, NodeId root, std::int32_t depth,
       LOCMM_CHECK_MSG(back_port >= 0, "asymmetric adjacency in CommGraph");
       const auto child_idx = static_cast<std::int32_t>(t.nodes_.size());
       t.nodes_.push_back(make_node(e.to, idx, back_port, e.coeff, d + 1));
+      note_origin(e.to, child_idx);
       t.child_index_.push_back(child_idx);
       ++added;
       LOCMM_CHECK_MSG(static_cast<std::int64_t>(t.nodes_.size()) <= max_nodes,
@@ -71,7 +100,42 @@ ViewTree ViewTree::build(const CommGraph& g, NodeId root, std::int32_t depth,
     }
     t.nodes_[static_cast<std::size_t>(idx)].num_children = added;
   }
-  return t;
+  t.rebuild_neighbor_cache();
+}
+
+void ViewTree::rebuild_neighbor_cache() {
+  const std::size_t n = nodes_.size();
+  nbr_offsets_.clear();
+  nbr_offsets_.reserve(n + 1);
+  nbr_ids_.clear();
+  nbr_coeffs_.clear();
+  std::int64_t total = 0;
+  nbr_offsets_.push_back(0);
+  for (const ViewNode& v : nodes_) {
+    total += v.num_children + (v.parent >= 0 ? 1 : 0);
+    nbr_offsets_.push_back(total);
+  }
+  nbr_ids_.resize(static_cast<std::size_t>(total));
+  nbr_coeffs_.resize(static_cast<std::size_t>(total));
+  for (std::size_t i = 0; i < n; ++i) {
+    const ViewNode& v = nodes_[i];
+    std::int64_t at = nbr_offsets_[i];
+    const std::int32_t* kids = child_index_.data() + v.first_child;
+    std::int32_t j = 0;
+    const std::int32_t total_ports = v.num_children + (v.parent >= 0 ? 1 : 0);
+    for (std::int32_t port = 0; port < total_ports; ++port, ++at) {
+      if (v.parent >= 0 && (port == v.parent_port || v.num_children == 0)) {
+        // Frontier nodes expose only their parent, at slot 0.
+        nbr_ids_[static_cast<std::size_t>(at)] = v.parent;
+        nbr_coeffs_[static_cast<std::size_t>(at)] = v.parent_coeff;
+      } else {
+        const std::int32_t child = kids[j++];
+        nbr_ids_[static_cast<std::size_t>(at)] = child;
+        nbr_coeffs_[static_cast<std::size_t>(at)] =
+            nodes_[static_cast<std::size_t>(child)].parent_coeff;
+      }
+    }
+  }
 }
 
 bool ViewTree::same_view(const ViewTree& a, const ViewTree& b) {

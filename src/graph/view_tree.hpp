@@ -10,9 +10,13 @@
 //
 // ViewTree materialises this truncation.  Each node records its parent, the
 // port index *at this node* that leads to the parent, the edge coefficient,
-// and its origin (the parent node in G).  Origins exist only for testing and
-// instrumentation -- the algorithms never branch on them, which is what
-// makes the implementation identifier-free as required by the model.
+// and its origin (the parent node in G).  The naive oracle engine never
+// branches on origins, which witnesses that the algorithm is definable in
+// the identifier-free port-numbering model; the memoized DP engine uses
+// origins purely as pointers into the unfolding's shared structure (all
+// copies of a G-node carry identical subproblems -- Example 2 of the paper
+// -- so deduplicating by origin provably changes no output, which the
+// differential tests assert).
 #pragma once
 
 #include <cstdint>
@@ -44,6 +48,14 @@ class ViewTree {
   static ViewTree build(const CommGraph& g, NodeId root, std::int32_t depth,
                         std::int64_t max_nodes = 64 * 1000 * 1000);
 
+  // Arena-style build: reuses `out`'s storage (capacity is retained across
+  // calls), so a per-agent loop over views of similar size stops paying one
+  // set of allocations per agent.  `out` is left equal to what build() would
+  // have returned.
+  static void build_into(const CommGraph& g, NodeId root, std::int32_t depth,
+                         ViewTree& out,
+                         std::int64_t max_nodes = 64 * 1000 * 1000);
+
   std::int32_t size() const { return static_cast<std::int32_t>(nodes_.size()); }
   const ViewNode& node(std::int32_t idx) const {
     LOCMM_DCHECK(idx >= 0 && idx < size());
@@ -65,30 +77,45 @@ class ViewTree {
     return n.num_children + (n.parent >= 0 ? 1 : 0) == n.degree;
   }
 
+  // Materialised neighbours of `idx` in the node's original port order (the
+  // parent edge interleaved at parent_port).  Frontier nodes only expose
+  // their parent.  These slices are precomputed at build time so that the
+  // evaluation engines walk flat arrays instead of re-deriving the
+  // interleaving on every visit.
+  std::span<const std::int32_t> neighbor_ids(std::int32_t idx) const {
+    const ViewNode& n = node(idx);
+    return {nbr_ids_.data() + nbr_offsets_[static_cast<std::size_t>(idx)],
+            nbr_ids_.data() + nbr_offsets_[static_cast<std::size_t>(idx)] +
+                n.num_children + (n.parent >= 0 ? 1 : 0)};
+  }
+  std::span<const double> neighbor_coeffs(std::int32_t idx) const {
+    const ViewNode& n = node(idx);
+    return {nbr_coeffs_.data() + nbr_offsets_[static_cast<std::size_t>(idx)],
+            nbr_coeffs_.data() + nbr_offsets_[static_cast<std::size_t>(idx)] +
+                n.num_children + (n.parent >= 0 ? 1 : 0)};
+  }
+
   // Calls fn(port, neighbor_view_index, coeff) for every materialised
-  // neighbour of `idx`, in the node's original port order (the parent edge
-  // interleaved at parent_port).  Frontier nodes only expose their parent.
+  // neighbour of `idx`, in port order (a thin wrapper over the cached
+  // adjacency slices).
   template <typename Fn>
   void for_each_neighbor(std::int32_t idx, Fn&& fn) const {
     const ViewNode& n = node(idx);
-    auto kids = children(idx);
-    if (kids.empty()) {
+    if (n.num_children == 0) {  // frontier: only the parent edge is visible
       if (n.parent >= 0) fn(n.parent_port, n.parent, n.parent_coeff);
       return;
     }
-    std::int32_t j = 0;
-    const std::int32_t total =
-        static_cast<std::int32_t>(kids.size()) + (n.parent >= 0 ? 1 : 0);
-    for (std::int32_t port = 0; port < total; ++port) {
-      if (n.parent >= 0 && port == n.parent_port) {
-        fn(port, n.parent, n.parent_coeff);
-      } else {
-        const std::int32_t child = kids[j++];
-        fn(port, child,
-           nodes_[static_cast<std::size_t>(child)].parent_coeff);
-      }
+    const auto ids = neighbor_ids(idx);
+    const auto coeffs = neighbor_coeffs(idx);
+    for (std::size_t port = 0; port < ids.size(); ++port) {
+      fn(static_cast<std::int32_t>(port), ids[port], coeffs[port]);
     }
   }
+
+  // Recomputes the cached adjacency slices from nodes_/child_index_.  Called
+  // by build_into(); anything else that splices nodes directly (the future
+  // dist/ ViewAssembler) must call it before handing the tree to an engine.
+  void rebuild_neighbor_cache();
 
   // Structural equality ignoring origins: same shape, types, port positions
   // and coefficients.  This is the "information content" a port-numbering
@@ -102,11 +129,34 @@ class ViewTree {
     return static_cast<std::int64_t>(nodes_.size()) * 13;
   }
 
+  // The shallowest copy of a G-node in this view, or -1 when it has none.
+  // Recorded during construction at no extra cost (the BFS build order makes
+  // the first copy the minimum-depth one).  The memoized DP engine keys its
+  // tables on origins through this: every quantity of the §5 recursions is
+  // position-independent (Example 2 of the paper), so all copies of an
+  // origin share one table row and the shallowest copy -- the one with the
+  // most materialised adjacency -- serves as the lookup point.
+  std::int32_t representative(NodeId origin) const {
+    const auto o = static_cast<std::size_t>(origin);
+    if (o >= rep_.size() || rep_epoch_[o] != rep_epoch_now_) return -1;
+    return rep_[o];
+  }
+
   friend class ViewAssembler;  // dist/gather.cpp splices message views
 
  private:
   std::vector<ViewNode> nodes_;
   std::vector<std::int32_t> child_index_;
+  // Cached adjacency (see neighbor_ids/neighbor_coeffs): per node, the
+  // materialised neighbours in port order, parent edge interleaved.
+  std::vector<std::int64_t> nbr_offsets_;
+  std::vector<std::int32_t> nbr_ids_;
+  std::vector<double> nbr_coeffs_;
+  // Origin -> shallowest copy, epoch-stamped so arena reuse (build_into)
+  // resets it in O(1).
+  std::vector<std::int32_t> rep_;
+  std::vector<std::uint32_t> rep_epoch_;
+  std::uint32_t rep_epoch_now_ = 0;
   std::int32_t depth_ = 0;
 };
 

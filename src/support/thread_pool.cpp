@@ -51,31 +51,38 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
 
-  // Oversubscribe chunks 4x relative to threads so uneven per-agent work
-  // (view sizes vary) load-balances without a dynamic counter per index.
-  const std::size_t chunks = std::min(n, nthreads * 4);
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-
+  // Dynamic work distribution: one queue entry per worker, each draining a
+  // shared atomic index.  Per-index cost varies by orders of magnitude in
+  // the per-agent loops (view sizes differ between graph core and
+  // periphery), so static chunking leaves workers idle; a fetch-add per
+  // index costs nanoseconds next to any body we run.
   struct Shared {
-    std::atomic<std::size_t> remaining;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> failed{false};
     std::mutex done_mutex;
     std::condition_variable done_cv;
     std::exception_ptr error;
     std::mutex error_mutex;
   };
   auto shared = std::make_shared<Shared>();
-  std::size_t actual_chunks = 0;
-  for (std::size_t lo = 0; lo < n; lo += chunk_size) ++actual_chunks;
-  shared->remaining.store(actual_chunks, std::memory_order_relaxed);
+  const std::size_t tasks = std::min(n, nthreads);
+  shared->remaining.store(tasks, std::memory_order_relaxed);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t lo = 0; lo < n; lo += chunk_size) {
-      const std::size_t hi = std::min(lo + chunk_size, n);
-      queue_.push([shared, lo, hi, &body] {
+    for (std::size_t t = 0; t < tasks; ++t) {
+      queue_.push([shared, n, &body] {
         try {
-          for (std::size_t i = lo; i < hi; ++i) body(i);
+          for (;;) {
+            if (shared->failed.load(std::memory_order_relaxed)) break;
+            const std::size_t i =
+                shared->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) break;
+            body(i);
+          }
         } catch (...) {
+          shared->failed.store(true, std::memory_order_relaxed);
           std::lock_guard<std::mutex> elock(shared->error_mutex);
           if (!shared->error) shared->error = std::current_exception();
         }
@@ -95,14 +102,16 @@ void ThreadPool::parallel_for(std::size_t n,
   if (shared->error) std::rethrow_exception(shared->error);
 }
 
-ThreadPool& ThreadPool::global(std::size_t threads) {
-  static std::unique_ptr<ThreadPool> pool;
+std::shared_ptr<ThreadPool> ThreadPool::global(std::size_t threads) {
+  static std::shared_ptr<ThreadPool> pool;
   static std::mutex m;
   std::lock_guard<std::mutex> lock(m);
   if (!pool || (threads != 0 && pool->thread_count() != threads)) {
-    pool = std::make_unique<ThreadPool>(threads);
+    // Swap, never destroy in place: earlier callers may still hold the old
+    // pool through their shared_ptr, and it stays alive for them.
+    pool = std::make_shared<ThreadPool>(threads);
   }
-  return *pool;
+  return pool;
 }
 
 void parallel_for(std::size_t n, std::size_t threads,
@@ -111,7 +120,10 @@ void parallel_for(std::size_t n, std::size_t threads,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  ThreadPool::global(threads).parallel_for(n, body);
+  // Keep a reference for the duration of the loop so a concurrent
+  // global(other_count) cannot destroy the pool under us.
+  const std::shared_ptr<ThreadPool> pool = ThreadPool::global(threads);
+  pool->parallel_for(n, body);
 }
 
 }  // namespace locmm

@@ -2,8 +2,11 @@
 //
 // The local algorithm is embarrassingly parallel over agents (each agent's
 // computation reads only its own local view), so the only parallel primitive
-// the library needs is a deterministic-partition parallel loop: the index
-// space [0, n) is split into contiguous chunks, one queue entry per chunk.
+// the library needs is a blocking parallel loop.  Per-agent cost varies by
+// orders of magnitude (view sizes differ wildly between the core and the
+// periphery of a graph), so the loop hands out indices through a dynamic
+// atomic counter: each worker claims the next index when it finishes the
+// previous one, which load-balances without any static chunking choice.
 // Results are written to per-index slots by the caller, so the schedule
 // cannot affect the output -- a requirement for the reproducibility tests.
 #pragma once
@@ -11,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -31,13 +35,17 @@ class ThreadPool {
 
   // Runs body(i) for every i in [0, n); blocks until all complete.
   // Exceptions thrown by body are captured and the first one is rethrown
-  // on the calling thread after the loop drains.
+  // on the calling thread after the loop drains (remaining indices may be
+  // skipped once a failure is recorded).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   // Process-wide pool, created on first use.  `threads` is honoured only by
-  // the first call; later calls with a different request recreate the pool
-  // (benches use this to sweep thread counts).
-  static ThreadPool& global(std::size_t threads = 0);
+  // the first call; later calls with a different request swap in a new pool
+  // (benches use this to sweep thread counts).  Callers receive shared
+  // ownership, so a pool that is still in use elsewhere survives the swap --
+  // holding the returned shared_ptr across a resize is safe (it used to be a
+  // dangling reference).
+  static std::shared_ptr<ThreadPool> global(std::size_t threads = 0);
 
  private:
   void worker_loop();

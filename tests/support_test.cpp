@@ -154,6 +154,27 @@ TEST(ThreadPool, ZeroIterations) {
   pool.parallel_for(0, [&](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, GlobalResizeKeepsOldPoolAlive) {
+  // Regression: global(threads) used to return ThreadPool& and destroy the
+  // old singleton in place on a resize, leaving earlier callers with a
+  // dangling reference.  With shared ownership the old pool must stay
+  // usable for as long as someone holds it.
+  const std::shared_ptr<ThreadPool> a = ThreadPool::global(2);
+  ASSERT_EQ(a->thread_count(), 2u);
+  const std::shared_ptr<ThreadPool> b = ThreadPool::global(3);
+  ASSERT_EQ(b->thread_count(), 3u);
+  EXPECT_NE(a.get(), b.get());
+
+  // The pre-resize pool still schedules work correctly.
+  std::vector<std::atomic<int>> hits(200);
+  a->parallel_for(200, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // Same-count (and 0 = "don't care") requests reuse the current pool.
+  EXPECT_EQ(ThreadPool::global(3).get(), b.get());
+  EXPECT_EQ(ThreadPool::global(0).get(), b.get());
+}
+
 TEST(Table, RendersRowsAndNotes) {
   Table t("demo");
   t.columns({"a", "bb"});

@@ -84,7 +84,9 @@ TEST(UpperBound, FPlusMonotoneInDepth) {
   for (std::int32_t d = 1; d <= 3; ++d) {
     for (AgentId v = 0; v < inst.num_agents(); ++v) {
       EXPECT_LE(ft.plus[d][v], ft.plus[d - 1][v] + 1e-12);
-      if (d >= 2) EXPECT_GE(ft.minus[d][v], ft.minus[d - 1][v] - 1e-12);
+      if (d >= 2) {
+        EXPECT_GE(ft.minus[d][v], ft.minus[d - 1][v] - 1e-12);
+      }
     }
   }
 }
