@@ -1,16 +1,33 @@
 #!/bin/sh
-# Runs the DP-engine benchmark and emits BENCH_dp_engine.json at the repo
-# root so successive PRs can track the perf trajectory.
+# Runs the perf-trajectory benchmarks and emits BENCH_*.json at the repo
+# root so successive PRs can track the numbers:
+#   BENCH_dp_engine.json    per-agent DP engine vs the naive oracle
+#   BENCH_view_cache.json   class-collapsed vs per-agent whole-instance solves
 #
-# Usage: bench/run_bench.sh [build-dir]   (default: build)
+# Usage: bench/run_bench.sh [build-dir] [--smoke]
+#   --smoke runs bench_view_cache on CI-sized instances (seconds instead of
+#   minutes); bench_dp_engine has a single size that already fits CI.
 set -eu
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+BUILD_DIR=build
+SMOKE=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    -*)
+      echo "usage: bench/run_bench.sh [build-dir] [--smoke]" >&2
+      echo "unknown option: $arg" >&2
+      exit 2
+      ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 
-if [ ! -x "$BUILD_DIR/bench_dp_engine" ]; then
+if [ ! -x "$BUILD_DIR/bench_dp_engine" ] || [ ! -x "$BUILD_DIR/bench_view_cache" ]; then
   cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" -j --target bench_dp_engine
+  cmake --build "$BUILD_DIR" -j --target bench_dp_engine bench_view_cache
 fi
 
 "$BUILD_DIR/bench_dp_engine" BENCH_dp_engine.json
+"$BUILD_DIR/bench_view_cache" BENCH_view_cache.json $SMOKE

@@ -86,12 +86,28 @@ double t_root_from_view(const ViewTree& view, std::int32_t r,
                         const TSearchOptions& opt = {},
                         ViewEvalScratch* scratch = nullptr);
 
-// Runs engine L for every agent of a special-form instance: builds each
-// agent's view (into a per-thread arena) and evaluates it.  The views
-// themselves are exponential in R on expander-like graphs, so engine C is
-// the fast path for whole-instance solves; with the DP engine the
-// per-agent evaluation is linear in the view size.  threads: 1 = serial,
-// 0 = all hardware threads.
+// Runs engine L for every agent of a special-form instance.  With
+// opt.canonicalize_views (the default) this is a three-stage pipeline whose
+// cost scales with the number of *distinct view-equivalence classes*, not
+// the number of agents:
+//
+//   refine     WL colour refinement on the communication graph
+//              (graph/color_refine.hpp) groups agents whose radius-D views
+//              coincide, without materialising any view;
+//   evaluate   one representative per class builds its view (per-thread
+//              arena) and evaluates it -- consulting opt.view_cache, when
+//              set: colour-keyed hits skip even the representative's view
+//              build, so warm solves cost refine + broadcast only;
+//   broadcast  x_v is fanned out to every member of each class (identical
+//              views provably produce identical outputs, PAPER §3
+//              Remarks 4-5; the property tests assert bit-for-bit equality
+//              with the uncanonicalized path).
+//
+// Stage timings and class/cache counters land in TSearchOptions::stats.
+// With canonicalize_views = false every agent builds and evaluates its own
+// view (the PR-1 baseline; one evaluation per agent).  threads: 1 = serial,
+// 0 = all hardware threads.  Either way the result is bitwise independent
+// of `threads`.
 std::vector<double> solve_special_local_views(const MaxMinInstance& special,
                                               std::int32_t R,
                                               const TSearchOptions& opt = {},

@@ -73,6 +73,28 @@ struct GridParams {
 };
 MaxMinInstance grid_instance(const GridParams& p, std::uint64_t seed);
 
+struct SpecialGridParams {
+  std::int32_t rows = 6;  // even, >= 4: objectives pair rows 2k and 2k+1
+  std::int32_t cols = 6;  // >= 3
+  double coeff_lo = 1.0;  // horizontal constraint coefficients
+  double coeff_hi = 1.0;
+};
+// Paired-row torus grid natively in §5 special form: every horizontal
+// torus edge carries a degree-2 constraint, and the vertical edges between
+// rows 2k and 2k+1 carry the (unit) objectives, so |Iv| = 2, |Kv| = 1,
+// |Vk| = 2 for every agent.  Because |Kv| = 1 forces the vertical
+// objectives to be a perfect matching of rows, consecutive row PAIRS are
+// not coupled: the graph is rows/2 independent 2 x cols prisms (circular
+// ladders) cut from the torus, not the fully 2D-coupled torus.  That is
+// exactly what keeps it engine-L-tractable: unlike grid_instance (whose §4
+// pipeline raises the comm-graph degree) or a fully coupled special-form
+// torus (branching 3), radius-29 views here stay ~10^5 nodes, so
+// whole-instance solves scale to R = 4.  With unit coefficients it is
+// vertex-transitive up to the wrap-around port order: the grid workload of
+// the class-collapse benchmarks.
+MaxMinInstance special_grid_instance(const SpecialGridParams& p,
+                                     std::uint64_t seed);
+
 struct TreeParams {
   std::int32_t max_agents = 50;
   std::int32_t max_constraint_children = 2;  // per-agent constraint fanout
@@ -119,6 +141,26 @@ struct RegularSpecialParams {
 // the lower-bound instances of [7] (see DESIGN.md §6), used by bench E5.
 MaxMinInstance regular_special_instance(const RegularSpecialParams& p,
                                         std::uint64_t seed);
+
+struct CirculantSpecialParams {
+  std::int32_t num_objectives = 12;  // agents = num_objectives * delta_k
+  std::int32_t delta_k = 3;          // objective size (consecutive blocks)
+  std::int32_t stride = 5;           // partner offset; 2 * stride % n != 0
+  double coeff_lo = 1.0;
+  double coeff_hi = 1.0;
+};
+// Deterministic, structured counterpart of regular_special_instance:
+// objective k covers the consecutive block of delta_k agents, and
+// constraint j pairs agents {j, j + stride (mod n)}, so every agent has
+// exactly two degree-2 constraints and one objective -- the same degree
+// profile as the random configuration model, but circulant.  With unit
+// coefficients all agents look alike up to the wrap-around port order, so
+// the number of distinct radius-D views is O(D), independent of n: the
+// "d-regular" workload where cross-agent view canonicalization collapses a
+// 10k-agent solve to a handful of evaluations (the paper's lower-bound
+// instances [7] are exactly such symmetric regular constructions).
+MaxMinInstance circulant_special_instance(const CirculantSpecialParams& p,
+                                          std::uint64_t seed);
 
 struct LayeredParams {
   std::int32_t delta_k = 3;  // objective size (1 up-agent + delta_k-1 down)

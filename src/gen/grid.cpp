@@ -31,4 +31,32 @@ MaxMinInstance grid_instance(const GridParams& p, std::uint64_t seed) {
   return b.build();
 }
 
+MaxMinInstance special_grid_instance(const SpecialGridParams& p,
+                                     std::uint64_t seed) {
+  LOCMM_CHECK(p.rows >= 4 && p.rows % 2 == 0);
+  LOCMM_CHECK(p.cols >= 3);
+  Rng rng(seed);
+  const std::int32_t n = p.rows * p.cols;
+  InstanceBuilder b(n);
+  auto id = [&](std::int32_t r, std::int32_t c) -> AgentId {
+    return ((r + p.rows) % p.rows) * p.cols + ((c + p.cols) % p.cols);
+  };
+  // Horizontal torus edges: one degree-2 constraint each, so |Iv| = 2.
+  for (std::int32_t r = 0; r < p.rows; ++r) {
+    for (std::int32_t c = 0; c < p.cols; ++c) {
+      b.add_constraint({{id(r, c), rng.uniform(p.coeff_lo, p.coeff_hi)},
+                        {id(r, c + 1), rng.uniform(p.coeff_lo, p.coeff_hi)}});
+    }
+  }
+  // Vertical edges between paired rows only (a perfect matching), so every
+  // agent has exactly one unit objective: §5 special form by construction.
+  // Consequence (see generators.hpp): row pairs are independent prisms.
+  for (std::int32_t r = 0; r < p.rows; r += 2) {
+    for (std::int32_t c = 0; c < p.cols; ++c) {
+      b.add_objective({{id(r, c), 1.0}, {id(r + 1, c), 1.0}});
+    }
+  }
+  return b.build();
+}
+
 }  // namespace locmm

@@ -72,4 +72,32 @@ MaxMinInstance regular_special_instance(const RegularSpecialParams& p,
   return b.build();
 }
 
+MaxMinInstance circulant_special_instance(const CirculantSpecialParams& p,
+                                          std::uint64_t seed) {
+  LOCMM_CHECK(p.num_objectives >= 2);
+  LOCMM_CHECK(p.delta_k >= 2);
+  const std::int32_t n = p.num_objectives * p.delta_k;
+  LOCMM_CHECK_MSG(p.stride > 0 && p.stride % n != 0 && (2 * p.stride) % n != 0,
+                  "stride must not be 0 or n/2 modulo n (self-pairs / "
+                  "parallel constraint rows)");
+  Rng rng(seed);
+
+  InstanceBuilder b(n);
+  // Constraint j pairs {j, j + stride}: every agent sits in exactly two
+  // rows (once per side), |Vi| = 2.
+  for (std::int32_t j = 0; j < n; ++j) {
+    b.add_constraint(
+        {{j, rng.uniform(p.coeff_lo, p.coeff_hi)},
+         {(j + p.stride) % n, rng.uniform(p.coeff_lo, p.coeff_hi)}});
+  }
+  // Objectives: consecutive blocks of delta_k agents, unit coefficients.
+  for (std::int32_t k = 0; k < p.num_objectives; ++k) {
+    std::vector<Entry> row;
+    for (std::int32_t c = 0; c < p.delta_k; ++c)
+      row.push_back({k * p.delta_k + c, 1.0});
+    b.add_objective(std::move(row));
+  }
+  return b.build();
+}
+
 }  // namespace locmm

@@ -1,0 +1,129 @@
+#include "graph/color_refine.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "support/hash.hpp"
+
+namespace locmm {
+
+namespace {
+
+// Seeds of the two independent colour streams.
+constexpr std::uint64_t kSeedA = 0x517cc1b727220a95ull;
+constexpr std::uint64_t kSeedB = 0x2545f4914f6cdd1dull;
+
+struct Color {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool operator==(const Color&) const = default;
+};
+
+struct ColorHash {
+  std::size_t operator()(const Color& c) const {
+    return static_cast<std::size_t>(hash_combine(c.a, c.b));
+  }
+};
+
+// Counts the distinct colours over all nodes (the partition size; refinement
+// only splits, so an unchanged count means a stable partition).
+std::int64_t count_classes(const std::vector<Color>& colors) {
+  std::unordered_map<Color, std::int32_t, ColorHash> seen;
+  seen.reserve(colors.size());
+  for (const Color& c : colors) seen.emplace(c, 0);
+  return static_cast<std::int64_t>(seen.size());
+}
+
+}  // namespace
+
+ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth) {
+  LOCMM_CHECK(depth >= 0);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  // Back ports: for the neighbour u at port p of v, the port at u leading
+  // back to v (part of the view structure -- the child's parent_port).
+  // Resolved by the same CommGraph::back_port the view build uses, so the
+  // WL colours and the materialized views can never disagree on it.
+  std::vector<std::int64_t> offsets(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets[v + 1] =
+        offsets[v] + g.degree(static_cast<NodeId>(v));
+  }
+  std::vector<std::int32_t> back_port(static_cast<std::size_t>(offsets[n]));
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto deg = g.degree(static_cast<NodeId>(v));
+    for (std::int32_t p = 0; p < deg; ++p) {
+      back_port[static_cast<std::size_t>(offsets[v]) +
+                static_cast<std::size_t>(p)] =
+          g.back_port(static_cast<NodeId>(v), p);
+    }
+  }
+
+  // c_0: the node's own local input.
+  std::vector<Color> cur(n), next(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto node = static_cast<NodeId>(v);
+    const auto type = static_cast<std::uint64_t>(g.type(node));
+    const auto deg = static_cast<std::uint64_t>(g.degree(node));
+    const std::uint64_t cdeg =
+        g.type(node) == NodeType::kAgent
+            ? static_cast<std::uint64_t>(g.constraint_degree(node))
+            : 0;
+    cur[v].a = hash_combine(hash_combine(hash_combine(kSeedA, type), deg),
+                            cdeg);
+    cur[v].b = hash_combine(hash_combine(hash_combine(kSeedB, type), deg),
+                            cdeg);
+  }
+
+  ViewClasses out;
+  std::int64_t classes = count_classes(cur);
+  for (std::int32_t round = 0; round < depth; ++round) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto neigh = g.neighbors(static_cast<NodeId>(v));
+      Color h = cur[v];  // fold the previous colour in: refinement-only
+      for (std::size_t p = 0; p < neigh.size(); ++p) {
+        const auto u = static_cast<std::size_t>(neigh[p].to);
+        const auto bp = static_cast<std::uint64_t>(
+            back_port[static_cast<std::size_t>(offsets[v]) + p]);
+        const std::uint64_t coeff = coeff_bits_exact(neigh[p].coeff);
+        h.a = hash_combine(hash_combine(hash_combine(h.a, cur[u].a), bp),
+                           coeff);
+        h.b = hash_combine(hash_combine(hash_combine(h.b, cur[u].b), bp),
+                           coeff);
+      }
+      next[v] = h;
+    }
+    cur.swap(next);
+    out.rounds = round + 1;
+    const std::int64_t now = count_classes(cur);
+    LOCMM_DCHECK(now >= classes);
+    if (now == classes) {
+      out.stabilized = true;
+      break;
+    }
+    classes = now;
+  }
+
+  // Dense agent classes in first-seen order over agent ids.
+  const auto agents = static_cast<std::size_t>(g.num_agents());
+  out.class_of.assign(agents, -1);
+  std::unordered_map<Color, std::int32_t, ColorHash> ids;
+  ids.reserve(agents);
+  for (std::size_t v = 0; v < agents; ++v) {
+    const Color& c = cur[static_cast<std::size_t>(
+        g.agent_node(static_cast<AgentId>(v)))];
+    auto [it, inserted] =
+        ids.emplace(c, static_cast<std::int32_t>(out.representative.size()));
+    if (inserted) {
+      out.representative.push_back(static_cast<AgentId>(v));
+      out.class_size.push_back(0);
+      out.color_a.push_back(c.a);
+      out.color_b.push_back(c.b);
+    }
+    out.class_of[v] = it->second;
+    ++out.class_size[static_cast<std::size_t>(it->second)];
+  }
+  return out;
+}
+
+}  // namespace locmm

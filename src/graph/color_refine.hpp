@@ -1,0 +1,72 @@
+// color_refine.hpp -- port-numbering Weisfeiler-Leman colour refinement on
+// the communication graph: the cheap, graph-side pre-hash of the view
+// canonicalization layer.
+//
+// In the port-numbering model two agents with structurally identical
+// radius-D views provably produce identical outputs (PAPER §3, Remarks 4-5),
+// so a whole-instance engine-L solve only needs one evaluation per
+// *view-equivalence class*.  Materialising views just to discover the
+// classes would defeat the purpose (views grow like Delta^D); instead we
+// iterate colour refinement directly on CommGraph:
+//
+//   c_0(v)     = h(type, degree, constraint_degree)
+//   c_{t+1}(v) = h(c_t(v), port-ordered sequence of
+//                  (c_t(u_p), back-port at u_p, exact coefficient bits))
+//
+// which is the classic WL unfolding-tree correspondence adapted to ports:
+// with a perfect hash, c_D(v) = c_D(u) holds exactly when the depth-D
+// truncated unfoldings of v and u are equal as port-numbered trees.  The
+// completeness direction (equal views => equal colours) is deterministic --
+// every input of the recurrence is part of the depth-D view -- so refinement
+// NEVER splits a genuine equivalence class and no deduplication opportunity
+// is missed.  The soundness direction (equal colours => equal views) is
+// probabilistic; colours are 128-bit (two independently-seeded streams) so a
+// wrong merge needs a 2^-128 collision.  Coefficients enter with their exact
+// bit pattern (support/hash.hpp coeff_bits_exact): unlike the canonical-hash
+// buckets, WL merges are acted on without per-member structural
+// verification, so no quantization is allowed here.
+//
+// Refinement only ever splits classes (c_t is folded into c_{t+1}), so once
+// a round leaves the class count unchanged the partition is stable and the
+// remaining rounds are skipped -- on a symmetric n-agent instance the whole
+// grouping costs O(stable_rounds * |E|), independent of D.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+
+namespace locmm {
+
+struct ViewClasses {
+  // Dense class id per agent (indexed by AgentId); ids are assigned in
+  // first-seen order over agent ids, so the partition is deterministic.
+  std::vector<std::int32_t> class_of;
+  // Per class: the smallest member agent (the evaluation representative)
+  // and the class size.
+  std::vector<AgentId> representative;
+  std::vector<std::int32_t> class_size;
+  // Per class: the 128-bit WL colour (both streams).  Together with
+  // `rounds` this is an instance-independent fingerprint of the class's
+  // depth-`rounds`-refined view, usable as a cache key across solves
+  // (ViewClassCache::color_key) at the same ~2^-128 risk level as the
+  // fingerprint-only entry fallback.
+  std::vector<std::uint64_t> color_a;
+  std::vector<std::uint64_t> color_b;
+  // Refinement rounds actually executed and whether the partition reached a
+  // fixed point before the requested depth.
+  std::int32_t rounds = 0;
+  bool stabilized = false;
+
+  std::int32_t num_classes() const {
+    return static_cast<std::int32_t>(representative.size());
+  }
+};
+
+// Groups the agents of `g` into view-equivalence classes for views of depth
+// `depth` (= view_radius(R) for engine L).  Runs at most `depth` refinement
+// rounds, stopping early once the partition stabilizes.
+ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth);
+
+}  // namespace locmm

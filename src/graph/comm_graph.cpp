@@ -65,6 +65,17 @@ CommGraph::CommGraph(const MaxMinInstance& inst)
   }
 }
 
+std::int32_t CommGraph::back_port(NodeId node, std::int32_t port) const {
+  const NodeId to = neighbors(node)[static_cast<std::size_t>(port)].to;
+  const auto to_neigh = neighbors(to);
+  for (std::int32_t q = 0; q < static_cast<std::int32_t>(to_neigh.size());
+       ++q) {
+    if (to_neigh[static_cast<std::size_t>(q)].to == node) return q;
+  }
+  LOCMM_CHECK_MSG(false, "asymmetric adjacency in CommGraph");
+  return -1;
+}
+
 std::vector<std::int32_t> CommGraph::bfs_distances(
     NodeId src, std::int32_t max_dist) const {
   LOCMM_CHECK(src >= 0 && src < num_nodes());

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "support/hash.hpp"
+
 namespace locmm {
 
 ViewTree ViewTree::build(const CommGraph& g, NodeId root, std::int32_t depth,
@@ -13,13 +15,28 @@ ViewTree ViewTree::build(const CommGraph& g, NodeId root, std::int32_t depth,
 
 void ViewTree::build_into(const CommGraph& g, NodeId root, std::int32_t depth,
                           ViewTree& out, std::int64_t max_nodes) {
+  build_impl(g, root, depth, out, max_nodes, /*allow_truncation=*/false);
+}
+
+bool ViewTree::try_build_into(const CommGraph& g, NodeId root,
+                              std::int32_t depth, ViewTree& out,
+                              std::int64_t max_nodes) {
+  build_impl(g, root, depth, out, max_nodes, /*allow_truncation=*/true);
+  return !out.truncated_;
+}
+
+void ViewTree::build_impl(const CommGraph& g, NodeId root, std::int32_t depth,
+                          ViewTree& out, std::int64_t max_nodes,
+                          bool allow_truncation) {
   LOCMM_CHECK(root >= 0 && root < g.num_nodes());
   LOCMM_CHECK(depth >= 0);
+  LOCMM_CHECK(max_nodes >= 1);
 
   ViewTree& t = out;
   t.nodes_.clear();
   t.child_index_.clear();
   t.depth_ = depth;
+  t.truncated_ = false;
   // New representative-map generation; O(1) arena reuse (stale entries keep
   // their old epoch stamp and read as absent).
   ++t.rep_epoch_now_;
@@ -61,7 +78,7 @@ void ViewTree::build_into(const CommGraph& g, NodeId root, std::int32_t depth,
   // BFS expansion; children of the node popped at position `head` are
   // appended contiguously, in port order, skipping the parent port.
   std::size_t head = 0;
-  while (head < t.nodes_.size()) {
+  while (head < t.nodes_.size() && !t.truncated_) {
     const auto idx = static_cast<std::int32_t>(head);
     // Copy the fields we need: nodes_ may reallocate below.
     const NodeId origin = t.nodes_[head].origin;
@@ -77,26 +94,29 @@ void ViewTree::build_into(const CommGraph& g, NodeId root, std::int32_t depth,
     for (std::int32_t port = 0; port < static_cast<std::int32_t>(neigh.size());
          ++port) {
       if (port == parent_port) continue;  // non-backtracking
-      const HalfEdge& e = neigh[static_cast<std::size_t>(port)];
-      // Port at the child that leads back here.
-      std::int32_t back_port = -1;
-      const auto child_neigh = g.neighbors(e.to);
-      for (std::int32_t q = 0;
-           q < static_cast<std::int32_t>(child_neigh.size()); ++q) {
-        if (child_neigh[static_cast<std::size_t>(q)].to == origin) {
-          back_port = q;
+      if (static_cast<std::int64_t>(t.nodes_.size()) >= max_nodes) {
+        if (allow_truncation) {
+          t.truncated_ = true;
           break;
         }
+        LOCMM_CHECK_MSG(false, "view tree exceeds the node budget: root "
+                                   << root << " (" << to_string(g.type(root))
+                                   << "), requested depth " << depth
+                                   << ", max_nodes " << max_nodes
+                                   << " reached while expanding depth " << d
+                                   << "; reduce the radius/degree, raise the "
+                                      "budget, or use try_build_into");
       }
-      LOCMM_CHECK_MSG(back_port >= 0, "asymmetric adjacency in CommGraph");
+      const HalfEdge& e = neigh[static_cast<std::size_t>(port)];
+      // Port at the child that leads back here; shared with the WL
+      // refinement so both resolve it identically (a load-bearing
+      // invariant -- see CommGraph::back_port).
+      const std::int32_t back_port = g.back_port(origin, port);
       const auto child_idx = static_cast<std::int32_t>(t.nodes_.size());
       t.nodes_.push_back(make_node(e.to, idx, back_port, e.coeff, d + 1));
       note_origin(e.to, child_idx);
       t.child_index_.push_back(child_idx);
       ++added;
-      LOCMM_CHECK_MSG(static_cast<std::int64_t>(t.nodes_.size()) <= max_nodes,
-                      "view tree exceeds " << max_nodes
-                                           << " nodes; reduce depth/degree");
     }
     t.nodes_[static_cast<std::size_t>(idx)].num_children = added;
   }
@@ -136,10 +156,77 @@ void ViewTree::rebuild_neighbor_cache() {
       }
     }
   }
+  hashes_valid_ = false;
 }
 
-bool ViewTree::same_view(const ViewTree& a, const ViewTree& b) {
-  if (a.size() != b.size()) return false;
+void ViewTree::recompute_hashes() const {
+  // Bottom-up Merkle fold in one reverse pass: the BFS layout stores every
+  // child after its parent, so iterating indices high-to-low sees all child
+  // hashes before each parent.  Nothing origin-dependent enters the mix.
+  // Two genuinely independent per-node streams: A seeds one constant and
+  // quantizes coefficients (cheap grouping, arbitrated exactly downstream),
+  // B seeds another and folds the *exact* coefficient bits, so the pair
+  // (canonical, secondary) only collides for structurally different views
+  // at the ~2^-128 level -- a wrong fingerprint-only cache merge needs both
+  // streams to collide at once.
+  const std::size_t n = nodes_.size();
+  hash_scratch_a_.resize(n);
+  hash_scratch_b_.resize(n);
+  for (std::size_t i = n; i-- > 0;) {
+    const ViewNode& v = nodes_[i];
+    std::uint64_t ha = 0x9ae16a3b2f90404full;  // stream-A node seed
+    std::uint64_t hb = 0xc3a5c85c97cb3127ull;  // stream-B node seed
+    const auto fold = [&](std::uint64_t x) {
+      ha = hash_combine(ha, x);
+      hb = hash_combine(hb, x);
+    };
+    fold(static_cast<std::uint64_t>(v.type));
+    fold(static_cast<std::uint64_t>(v.degree));
+    fold(static_cast<std::uint64_t>(v.constraint_degree));
+    fold(static_cast<std::uint64_t>(v.parent_port + 1));
+    ha = hash_combine(ha, coeff_bits_quantized(v.parent_coeff));
+    hb = hash_combine(hb, coeff_bits_exact(v.parent_coeff));
+    fold(static_cast<std::uint64_t>(v.num_children));
+    for (std::int32_t c = 0; c < v.num_children; ++c) {
+      const auto child = static_cast<std::size_t>(
+          child_index_[static_cast<std::size_t>(v.first_child + c)]);
+      ha = hash_combine(ha, hash_scratch_a_[child]);
+      hb = hash_combine(hb, hash_scratch_b_[child]);
+    }
+    hash_scratch_a_[i] = ha;
+    hash_scratch_b_[i] = hb;
+  }
+  canonical_hash_ = hash_combine(
+      hash_combine(n > 0 ? hash_scratch_a_[0] : 0,
+                   static_cast<std::uint64_t>(depth_)),
+      static_cast<std::uint64_t>(n));
+  secondary_hash_ = hash_combine(
+      hash_combine(n > 0 ? hash_scratch_b_[0] : 0,
+                   static_cast<std::uint64_t>(depth_)),
+      static_cast<std::uint64_t>(n));
+  hashes_valid_ = true;
+}
+
+ViewTree ViewTree::structural_copy() const {
+  ViewTree t;
+  t.nodes_ = nodes_;
+  t.nodes_.shrink_to_fit();
+  t.child_index_ = child_index_;
+  t.child_index_.shrink_to_fit();
+  t.depth_ = depth_;
+  t.truncated_ = truncated_;
+  t.hashes_valid_ = hashes_valid_;
+  t.canonical_hash_ = canonical_hash_;
+  t.secondary_hash_ = secondary_hash_;
+  return t;
+}
+
+bool ViewTree::structurally_equal(const ViewTree& a, const ViewTree& b) {
+  // The truncation depth is part of the view's identity (the hashes fold
+  // it, and a deeper request that happens to exhaust the same finite
+  // unfolding still announces a different horizon), so it participates in
+  // equality even when the node arrays coincide.
+  if (a.size() != b.size() || a.depth() != b.depth()) return false;
   // Both trees are stored in deterministic BFS/port order, so structural
   // equality reduces to elementwise comparison (origins excluded).
   for (std::int32_t i = 0; i < a.size(); ++i) {

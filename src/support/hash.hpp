@@ -1,0 +1,52 @@
+// hash.hpp -- deterministic 64-bit mixing for structural fingerprints.
+//
+// The canonicalization layer (graph/view_tree.hpp canonical hashes,
+// graph/color_refine.hpp WL colours, core/view_class_cache.hpp keys) needs a
+// fast, seedable, platform-independent hash.  std::hash is none of those
+// (identity on integers under libstdc++, unspecified elsewhere), so we use
+// the splitmix64 finalizer as the mixer.  Nothing here is cryptographic;
+// collisions are arbitrated by exact structural comparison wherever a wrong
+// merge could change results (see ViewClassCache), and 128-bit double
+// hashing bounds the residual risk where full verification is impractical.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace locmm {
+
+// splitmix64 finalizer: a fast, well-distributed 64 -> 64 bijection.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Sequential combiner: order-sensitive (hash_combine(a, b) != of (b, a)),
+// which is what port-ordered structures need.
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return mix64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                       (seed >> 2)));
+}
+
+// Exact bit pattern of a coefficient, with -0.0 folded into +0.0 so that
+// arithmetically equal edges always hash equal.  Used where a hash merge is
+// acted on without structural verification (WL colours).
+inline std::uint64_t coeff_bits_exact(double c) {
+  if (c == 0.0) c = 0.0;  // -0.0 == 0.0, so this normalizes the sign bit
+  return std::bit_cast<std::uint64_t>(c);
+}
+
+// Quantized bit pattern: the low 12 mantissa bits are truncated, grouping
+// coefficients equal up to ~2^-40 relative under one hash.  Only safe where
+// an exact arbiter runs on hash equality: ViewTree::canonical_hash buckets
+// are verified with structurally_equal (exact doubles) when the
+// representative copy is resident, and with the exact-coefficient
+// secondary_hash stream otherwise -- so quantization can only cost extra
+// comparisons, never a wrong merge.
+inline std::uint64_t coeff_bits_quantized(double c) {
+  return coeff_bits_exact(c) & ~0xFFFull;
+}
+
+}  // namespace locmm

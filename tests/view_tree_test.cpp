@@ -119,6 +119,42 @@ TEST(ViewTree, MaxNodesGuardTrips) {
                CheckError);
 }
 
+TEST(ViewTree, MaxNodesGuardNamesTheCulprit) {
+  // The overflow diagnostic must identify the offending root, requested
+  // radius and node budget, so a failing whole-instance solve is
+  // actionable without a debugger.
+  const MaxMinInstance inst = grid_instance({.rows = 6, .cols = 6}, 3);
+  const CommGraph g(inst);
+  try {
+    ViewTree::build(g, g.agent_node(7), 30, /*max_nodes=*/100);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("root 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("depth 30"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("max_nodes 100"), std::string::npos) << msg;
+  }
+}
+
+TEST(ViewTree, TryBuildIntoRecordsTruncation) {
+  const MaxMinInstance inst = grid_instance({.rows = 6, .cols = 6}, 3);
+  const CommGraph g(inst);
+  ViewTree view;
+  EXPECT_FALSE(
+      ViewTree::try_build_into(g, g.agent_node(0), 30, view, 100));
+  EXPECT_TRUE(view.truncated());
+  EXPECT_LE(view.size(), 100);
+  // The truncated tree stays internally consistent: every recorded child
+  // points back at its parent, and unexpanded nodes read as frontier.
+  for (std::int32_t i = 1; i < view.size(); ++i) {
+    EXPECT_EQ(g.neighbors(view.node(i).origin)[view.node(i).parent_port].to,
+              view.node(view.node(i).parent).origin);
+  }
+  // A successful try_build clears the flag (arena reuse).
+  EXPECT_TRUE(ViewTree::try_build_into(g, g.agent_node(0), 2, view));
+  EXPECT_FALSE(view.truncated());
+}
+
 TEST(ViewTree, ByteSizeScalesWithNodes) {
   const MaxMinInstance inst = cycle_instance({.num_agents = 8}, 3);
   const CommGraph g(inst);
