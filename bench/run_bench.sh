@@ -11,6 +11,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build
+BUILD_DIR_SET=""
 SMOKE=""
 for arg in "$@"; do
   case "$arg" in
@@ -20,7 +21,15 @@ for arg in "$@"; do
       echo "unknown option: $arg" >&2
       exit 2
       ;;
-    *) BUILD_DIR="$arg" ;;
+    *)
+      if [ -n "$BUILD_DIR_SET" ]; then
+        echo "usage: bench/run_bench.sh [build-dir] [--smoke]" >&2
+        echo "unexpected second build dir: $arg (already have $BUILD_DIR)" >&2
+        exit 2
+      fi
+      BUILD_DIR="$arg"
+      BUILD_DIR_SET=1
+      ;;
   esac
 done
 

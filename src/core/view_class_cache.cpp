@@ -64,6 +64,10 @@ void ViewClassCache::insert_color(std::uint64_t color_key, double x) {
 
 bool ViewClassCache::lookup(const ViewTree& view, std::int32_t R,
                             std::uint64_t fp, double* x) {
+  // A truncated view's identity covers only what survived the node budget;
+  // distinct views truncated at the same budget would alias.  Callers must
+  // cache complete views only.
+  LOCMM_CHECK(!view.truncated());
   const std::uint64_t key = key_of(view, R, fp);
   Shard& shard = shards_[shard_of(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -83,6 +87,7 @@ bool ViewClassCache::lookup(const ViewTree& view, std::int32_t R,
 
 void ViewClassCache::insert(const ViewTree& view, std::int32_t R,
                             std::uint64_t fp, double x) {
+  LOCMM_CHECK(!view.truncated());  // see lookup
   const std::uint64_t key = key_of(view, R, fp);
   Shard& shard = shards_[shard_of(key)];
   Entry e;

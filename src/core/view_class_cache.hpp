@@ -72,20 +72,26 @@ class ViewClassCache {
   static std::uint64_t options_fingerprint(const TSearchOptions& opt);
 
   // Looks `view` up under (canonical hash, R, fp); on a hit, stores the
-  // cached output in *x and returns true.  Thread-safe.
+  // cached output in *x and returns true.  Thread-safe.  CHECK-fails on a
+  // truncated view (try_build_into hitting its node budget): everything past
+  // the cut is invisible to the identity, so two same-budget truncations of
+  // genuinely different views would alias.
   bool lookup(const ViewTree& view, std::int32_t R, std::uint64_t fp,
               double* x);
 
   // --- colour-keyed fast path ------------------------------------------
   // The WL colour pair of a class (color_refine.hpp) is an
-  // instance-independent fingerprint of its depth-`rounds`-refined view,
-  // available BEFORE any view is materialised -- so a warm solve that hits
-  // here skips the representative's view build entirely (the dominant warm
-  // cost at large R).  Folding `rounds` into the key keeps colours from
-  // different stabilization depths apart; a wrong merge needs a ~2^-128
-  // two-stream collision, the same risk level as the fingerprint-only
-  // entry fallback.  Colour hits count into hits(); colour misses are not
-  // counted (the hash-keyed lookup that follows is).
+  // instance-independent fingerprint of its complete depth-`rounds`
+  // unfolding -- refine_view_classes runs the hash streams for all `depth`
+  // requested rounds precisely so that this holds across instances, not
+  // just within the solve that produced the colours -- and it is available
+  // BEFORE any view is materialised, so a warm solve that hits here skips
+  // the representative's view build entirely (the dominant warm cost at
+  // large R).  Folding `rounds` (== the view depth) into the key keeps
+  // colours refined to different depths apart; a wrong merge needs a
+  // ~2^-128 two-stream collision, the same risk level as the
+  // fingerprint-only entry fallback.  Colour hits count into hits();
+  // colour misses are not counted (the hash-keyed lookup that follows is).
   static std::uint64_t color_key(std::uint64_t color_a, std::uint64_t color_b,
                                  std::int32_t rounds, std::int32_t R,
                                  std::uint64_t fp);
@@ -95,7 +101,8 @@ class ViewClassCache {
   // Records the evaluated output for `view`'s class.  Inserting a class
   // that is already present (e.g. two threads racing on the same miss) is
   // harmless: equal views produce bit-identical outputs, so whichever entry
-  // lands first answers all later lookups with the same value.
+  // lands first answers all later lookups with the same value.  CHECK-fails
+  // on a truncated view (see lookup).
   void insert(const ViewTree& view, std::int32_t R, std::uint64_t fp,
               double x);
 

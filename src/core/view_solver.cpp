@@ -1095,9 +1095,13 @@ std::vector<double> solve_special_local_views(const MaxMinInstance& special,
   }
 
   // Stage 1 (refine): group agents into view-equivalence classes on the
-  // agent graph, without materialising any view.
+  // agent graph, without materialising any view.  Full-depth colours are
+  // only needed when they outlive this solve as cross-instance cache keys
+  // (color_key below); the cache-less default stops the hash sweeps at
+  // partition stabilization, which yields the identical grouping.
   Timer refine_timer;
-  const ViewClasses classes = refine_view_classes(g, D);
+  const ViewClasses classes =
+      refine_view_classes(g, D, /*full_depth=*/opt.view_cache != nullptr);
   const auto num_classes = static_cast<std::size_t>(classes.num_classes());
   if (opt.stats != nullptr) {
     opt.stats->refine_us.fetch_add(

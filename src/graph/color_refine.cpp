@@ -36,7 +36,8 @@ std::int64_t count_classes(const std::vector<Color>& colors) {
 
 }  // namespace
 
-ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth) {
+ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth,
+                                bool full_depth) {
   LOCMM_CHECK(depth >= 0);
   const auto n = static_cast<std::size_t>(g.num_nodes());
 
@@ -75,6 +76,18 @@ ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth) {
                             cdeg);
   }
 
+  // With full_depth, the hash streams run for ALL `depth` rounds -- never
+  // cut short -- so the final colours fingerprint the full depth-`depth`
+  // unfolding.  Within one instance the stable partition argument lets them
+  // stop at stabilization (the !full_depth mode), but full-depth colours
+  // double as cross-solve cache keys (ViewClassCache::color_key), and a
+  // depth-t colour of a round-t-stable partition does NOT determine the
+  // depth-D view of agents from a *different* instance: two instances can
+  // stabilize at the same t with agents whose depth-t unfoldings coincide
+  // while the depth-D ones differ.  The class-splitting bookkeeping
+  // (count_classes) always stops early either way: a stable partition
+  // cannot split again, so the remaining full-depth rounds cost one O(|E|)
+  // hash sweep each and no hash-map work.
   ViewClasses out;
   std::int64_t classes = count_classes(cur);
   for (std::int32_t round = 0; round < depth; ++round) {
@@ -95,14 +108,19 @@ ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth) {
     }
     cur.swap(next);
     out.rounds = round + 1;
-    const std::int64_t now = count_classes(cur);
-    LOCMM_DCHECK(now >= classes);
-    if (now == classes) {
-      out.stabilized = true;
-      break;
+    if (!out.stabilized) {
+      const std::int64_t now = count_classes(cur);
+      LOCMM_DCHECK(now >= classes);
+      if (now == classes) {
+        out.stabilized = true;
+        out.stable_rounds = round + 1;
+        if (!full_depth) break;
+      } else {
+        classes = now;
+      }
     }
-    classes = now;
   }
+  if (!out.stabilized) out.stable_rounds = out.rounds;
 
   // Dense agent classes in first-seen order over agent ids.
   const auto agents = static_cast<std::size_t>(g.num_agents());

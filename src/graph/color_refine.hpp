@@ -28,8 +28,17 @@
 //
 // Refinement only ever splits classes (c_t is folded into c_{t+1}), so once
 // a round leaves the class count unchanged the partition is stable and the
-// remaining rounds are skipped -- on a symmetric n-agent instance the whole
-// grouping costs O(stable_rounds * |E|), independent of D.
+// class-counting bookkeeping stops -- on a symmetric n-agent instance the
+// hash-map work costs O(stable_rounds * |E|), independent of D.  The hash
+// streams themselves always run the full `depth` rounds (an O(|E|) sweep per
+// round, no hash maps): within one instance stopping at stabilization would
+// be sound, but the colours are also used as instance-independent cache keys
+// (ViewClassCache::color_key), and a colour that only fingerprints the
+// depth-t unfolding of a round-t-stable partition does not determine the
+// depth-D view of an agent from a different instance -- two instances can
+// stabilize at the same t with equal depth-t unfoldings and diverging
+// deeper structure.  Running all rounds makes c_depth a fingerprint of the
+// complete depth-`depth` unfolding, cross-instance.
 #pragma once
 
 #include <cstdint>
@@ -47,17 +56,22 @@ struct ViewClasses {
   // and the class size.
   std::vector<AgentId> representative;
   std::vector<std::int32_t> class_size;
-  // Per class: the 128-bit WL colour (both streams).  Together with
-  // `rounds` this is an instance-independent fingerprint of the class's
-  // depth-`rounds`-refined view, usable as a cache key across solves
-  // (ViewClassCache::color_key) at the same ~2^-128 risk level as the
-  // fingerprint-only entry fallback.
+  // Per class: the 128-bit WL colour (both streams).  The hash streams run
+  // for all `depth` requested rounds (see the preamble), so together with
+  // `rounds` (== depth) this is an instance-independent fingerprint of the
+  // class's complete depth-`depth` unfolding, usable as a cache key across
+  // solves (ViewClassCache::color_key) at the same ~2^-128 risk level as
+  // the fingerprint-only entry fallback.
   std::vector<std::uint64_t> color_a;
   std::vector<std::uint64_t> color_b;
-  // Refinement rounds actually executed and whether the partition reached a
-  // fixed point before the requested depth.
+  // Hash rounds executed: the requested depth with full_depth (whenever
+  // depth > 0), else == stable_rounds (the sweeps stop at stabilization).
   std::int32_t rounds = 0;
+  // Whether the partition reached a fixed point within `depth` rounds, and
+  // the round at which it did (== rounds when it never stabilized).  Only
+  // the class-count bookkeeping stops there; the colours keep refining.
   bool stabilized = false;
+  std::int32_t stable_rounds = 0;
 
   std::int32_t num_classes() const {
     return static_cast<std::int32_t>(representative.size());
@@ -65,8 +79,18 @@ struct ViewClasses {
 };
 
 // Groups the agents of `g` into view-equivalence classes for views of depth
-// `depth` (= view_radius(R) for engine L).  Runs at most `depth` refinement
-// rounds, stopping early once the partition stabilizes.
-ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth);
+// `depth` (= view_radius(R) for engine L).  With `full_depth` (the safe
+// default) the hash streams run all `depth` rounds -- required whenever the
+// colours outlive the solve as cross-instance cache keys
+// (ViewClassCache::color_key) -- and only the class-count bookkeeping stops
+// early once the partition stabilizes.  Pass full_depth = false when the
+// colours are used solely to group agents within this one instance: a
+// stable partition cannot split again, so stopping the sweeps at
+// stabilization yields the identical partition and skips
+// O((depth - stable_rounds) * |E|) of hashing -- but the resulting colours
+// fingerprint only the depth-stable_rounds unfolding and MUST NOT be used
+// as cross-solve keys.
+ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth,
+                                bool full_depth = true);
 
 }  // namespace locmm

@@ -1,5 +1,6 @@
 #include "graph/view_tree.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/hash.hpp"
@@ -143,9 +144,16 @@ void ViewTree::rebuild_neighbor_cache() {
     const std::int32_t* kids = child_index_.data() + v.first_child;
     std::int32_t j = 0;
     const std::int32_t total_ports = v.num_children + (v.parent >= 0 ? 1 : 0);
+    // Slot of the parent edge: its own port when that lies within the
+    // materialised range, else the last slot.  The latter covers frontier
+    // nodes (no children, parent at slot 0) and nodes a truncation cut
+    // mid-expansion before reaching parent_port -- the parent edge is how
+    // the node was reached, so it is always materialised, and clamping
+    // keeps the child walk within v's own num_children entries.
+    const std::int32_t parent_slot =
+        v.parent < 0 ? -1 : std::min(v.parent_port, total_ports - 1);
     for (std::int32_t port = 0; port < total_ports; ++port, ++at) {
-      if (v.parent >= 0 && (port == v.parent_port || v.num_children == 0)) {
-        // Frontier nodes expose only their parent, at slot 0.
+      if (port == parent_slot) {
         nbr_ids_[static_cast<std::size_t>(at)] = v.parent;
         nbr_coeffs_[static_cast<std::size_t>(at)] = v.parent_coeff;
       } else {
@@ -196,14 +204,19 @@ void ViewTree::recompute_hashes() const {
     hash_scratch_a_[i] = ha;
     hash_scratch_b_[i] = hb;
   }
+  // The truncation flag is part of the identity, like depth_: a tree cut by
+  // the node budget must never fingerprint-match a complete tree (what lies
+  // beyond the cut is unknown).
+  const std::uint64_t tail = hash_combine(
+      static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(truncated_));
   canonical_hash_ = hash_combine(
       hash_combine(n > 0 ? hash_scratch_a_[0] : 0,
                    static_cast<std::uint64_t>(depth_)),
-      static_cast<std::uint64_t>(n));
+      tail);
   secondary_hash_ = hash_combine(
       hash_combine(n > 0 ? hash_scratch_b_[0] : 0,
                    static_cast<std::uint64_t>(depth_)),
-      static_cast<std::uint64_t>(n));
+      tail);
   hashes_valid_ = true;
 }
 
@@ -222,11 +235,18 @@ ViewTree ViewTree::structural_copy() const {
 }
 
 bool ViewTree::structurally_equal(const ViewTree& a, const ViewTree& b) {
-  // The truncation depth is part of the view's identity (the hashes fold
-  // it, and a deeper request that happens to exhaust the same finite
-  // unfolding still announces a different horizon), so it participates in
-  // equality even when the node arrays coincide.
-  if (a.size() != b.size() || a.depth() != b.depth()) return false;
+  // The truncation depth and the budget-truncation flag are part of the
+  // view's identity (the hashes fold both): a deeper request that happens
+  // to exhaust the same finite unfolding still announces a different
+  // horizon, and a budget-cut tree never equals a complete one -- what lies
+  // beyond the cut is unknown, so equality of the surviving arrays proves
+  // nothing.  Two trees truncated at the same budget can still coincide
+  // here while their full views differ, which is why the class cache
+  // refuses truncated views outright (ViewClassCache::lookup/insert).
+  if (a.size() != b.size() || a.depth() != b.depth() ||
+      a.truncated() != b.truncated()) {
+    return false;
+  }
   // Both trees are stored in deterministic BFS/port order, so structural
   // equality reduces to elementwise comparison (origins excluded).
   for (std::int32_t i = 0; i < a.size(); ++i) {

@@ -157,10 +157,12 @@ class ViewTree {
   void rebuild_neighbor_cache();
 
   // Structural equality ignoring origins: same shape, types, port positions
-  // and coefficients (compared exactly).  This is the "information content"
-  // a port-numbering algorithm can observe; the faithfulness tests compare
-  // message-gathered views with directly-built ones through this, and the
-  // class cache uses it as the collision arbiter for canonical_hash().
+  // and coefficients (compared exactly), plus the depth and truncated()
+  // flags (a budget-cut tree never equals a complete one).  This is the
+  // "information content" a port-numbering algorithm can observe; the
+  // faithfulness tests compare message-gathered views with directly-built
+  // ones through this, and the class cache uses it as the collision arbiter
+  // for canonical_hash().
   static bool structurally_equal(const ViewTree& a, const ViewTree& b);
 
   // Backwards-compatible alias for structurally_equal.

@@ -125,13 +125,25 @@ TEST(ColorRefine, DistinguishesCoefficients) {
 TEST(ColorRefine, StabilizesEarlyOnSymmetricInstances) {
   // Agent 0's wrap-around asymmetry splits one hop further per round, so on
   // a small cycle the partition saturates long before a radius-29 request
-  // and the remaining rounds are skipped.
+  // and the class-count bookkeeping stops there.  The hash streams still run
+  // all 29 rounds: the colours must fingerprint the full depth-29 unfolding
+  // to be sound as cross-instance cache keys (ViewClassCache::color_key).
   const MaxMinInstance inst = cycle_instance({.num_agents = 12}, 3);
   const CommGraph g(inst);
   const ViewClasses classes = refine_view_classes(g, 29);
   EXPECT_TRUE(classes.stabilized);
-  EXPECT_LT(classes.rounds, 29);
+  EXPECT_LT(classes.stable_rounds, 29);
+  EXPECT_EQ(classes.rounds, 29);
   EXPECT_LE(classes.num_classes(), inst.num_agents());
+
+  // Economy mode (full_depth = false, the cache-less solver path) stops the
+  // hash sweeps at stabilization and must produce the identical partition.
+  const ViewClasses economy = refine_view_classes(g, 29, false);
+  EXPECT_TRUE(economy.stabilized);
+  EXPECT_EQ(economy.rounds, economy.stable_rounds);
+  EXPECT_EQ(economy.stable_rounds, classes.stable_rounds);
+  EXPECT_EQ(economy.class_of, classes.class_of);
+  EXPECT_EQ(economy.representative, classes.representative);
 }
 
 TEST(ColorRefine, ClassCountIndependentOfInstanceSize) {
@@ -148,6 +160,121 @@ TEST(ColorRefine, ClassCountIndependentOfInstanceSize) {
   }
   EXPECT_EQ(counts[0], counts[1]);
   EXPECT_LE(counts[0], 32);
+}
+
+// Cycle of `n` agents in §5 special form whose constraint coefficients
+// follow `pattern` around the cycle: constraint i_j spans {a_j, a_{j+1}}
+// with coefficient pattern[2j mod |pattern|] at a_j and
+// pattern[2j+1 mod |pattern|] at a_{j+1}; objectives are unit blocks
+// {a_{2k}, a_{2k+1}}.  With 2n % |pattern| == 0 the pattern closes
+// seamlessly, so two instances sharing a pattern prefix are locally
+// identical around an agent until the patterns diverge -- the raw material
+// for cross-instance aliasing regressions.
+MaxMinInstance patterned_cycle(std::int32_t n,
+                               const std::vector<double>& pattern) {
+  const auto m = static_cast<std::int32_t>(pattern.size());
+  LOCMM_CHECK(n % 2 == 0 && (2 * n) % m == 0);
+  InstanceBuilder b(n);
+  for (std::int32_t j = 0; j < n; ++j) {
+    b.add_constraint(
+        {{j, pattern[static_cast<std::size_t>((2 * j) % m)]},
+         {(j + 1) % n, pattern[static_cast<std::size_t>((2 * j + 1) % m)]}});
+  }
+  for (std::int32_t j = 0; j < n; j += 2) {
+    b.add_objective({{j, 1.0}, {j + 1, 1.0}});
+  }
+  return b.build();
+}
+
+TEST(ColorRefine, ColorsFingerprintFullDepthAcrossInstances) {
+  // Regression for the colour-keyed cross-solve fast path: the colours are
+  // instance-independent cache keys (ViewClassCache::color_key), so they
+  // must fingerprint the FULL requested depth even when the partition
+  // stabilizes earlier.  Here agent 1 of the 1,2,1,3-patterned cycle and
+  // agent 1 of the 1,2,1,3,1,4-patterned cycle see identical depth-2 views
+  // (the patterns share a prefix around them) but different depth-D views
+  // (the next coefficient out is 3 vs 4), so their full-depth colours must
+  // separate regardless of where either instance's bookkeeping stopped.
+  const std::int32_t depth = 29;
+  const MaxMinInstance a = patterned_cycle(12, {1, 2, 1, 3});
+  const MaxMinInstance b = patterned_cycle(12, {1, 2, 1, 3, 1, 4});
+  const CommGraph ga(a);
+  const CommGraph gb(b);
+  // Pin the premise: shallow views coincide, deep views differ.
+  EXPECT_TRUE(ViewTree::structurally_equal(
+      ViewTree::build(ga, ga.agent_node(1), 2),
+      ViewTree::build(gb, gb.agent_node(1), 2)));
+  EXPECT_FALSE(ViewTree::structurally_equal(
+      ViewTree::build(ga, ga.agent_node(1), depth),
+      ViewTree::build(gb, gb.agent_node(1), depth)));
+  const ViewClasses ca = refine_view_classes(ga, depth);
+  const ViewClasses cb = refine_view_classes(gb, depth);
+  // The hash streams never stop early...
+  EXPECT_EQ(ca.rounds, depth);
+  EXPECT_EQ(cb.rounds, depth);
+  // ...even though the class-count bookkeeping does.
+  EXPECT_TRUE(ca.stabilized);
+  EXPECT_TRUE(cb.stabilized);
+  EXPECT_LT(ca.stable_rounds, depth);
+  EXPECT_LT(cb.stable_rounds, depth);
+  const auto ia = static_cast<std::size_t>(ca.class_of[1]);
+  const auto ib = static_cast<std::size_t>(cb.class_of[1]);
+  EXPECT_FALSE(ca.color_a[ia] == cb.color_a[ib] &&
+               ca.color_b[ia] == cb.color_b[ib])
+      << "agents with different depth-" << depth
+      << " views share a full-depth colour";
+}
+
+TEST(ViewCache, SharedCacheAcrossInstancesStaysExact) {
+  // End-to-end version of the colour-key regression: solve instance A, then
+  // solve its shallow twin B warm through the same cross-solve cache.  Any
+  // colour aliasing would silently hand B outputs evaluated on A's views.
+  const MaxMinInstance a = patterned_cycle(24, {1, 2, 1, 3});
+  const MaxMinInstance b = patterned_cycle(24, {1, 2, 1, 3, 1, 4});
+  TSearchOptions uncached;
+  uncached.canonicalize_views = false;
+  const std::vector<double> base_a =
+      solve_special_local_views(a, 2, uncached);
+  const std::vector<double> base_b =
+      solve_special_local_views(b, 2, uncached);
+  // The premise: the twins genuinely produce different outputs.
+  EXPECT_NE(base_a, base_b);
+
+  ViewClassCache cache;
+  TSearchOptions cached;
+  cached.view_cache = &cache;
+  const std::vector<double> xa = solve_special_local_views(a, 2, cached);
+  const std::vector<double> xb = solve_special_local_views(b, 2, cached);
+  expect_bitwise_equal(base_a, xa, "instance A through the shared cache");
+  expect_bitwise_equal(base_b, xb, "instance B warm through the shared cache");
+}
+
+TEST(ViewCache, RejectsTruncatedViews) {
+  // Two views truncated at the same node budget can be indistinguishable --
+  // identical surviving node arrays -- even though the full views differ
+  // beyond the cut.  No local identity can separate them, so the cache
+  // must refuse truncated views outright.
+  const MaxMinInstance a = patterned_cycle(12, {1, 2, 1, 3});
+  const MaxMinInstance b = patterned_cycle(12, {1, 2, 1, 3, 1, 4});
+  const CommGraph ga(a);
+  const CommGraph gb(b);
+  // Budget 7 cuts both builds at the depth-2/depth-3 boundary, where the
+  // instances are still identical around agent 1.
+  ViewTree ta;
+  ViewTree tb;
+  EXPECT_FALSE(ViewTree::try_build_into(ga, ga.agent_node(1), 5, ta, 7));
+  EXPECT_FALSE(ViewTree::try_build_into(gb, gb.agent_node(1), 5, tb, 7));
+  ASSERT_TRUE(ta.truncated());
+  ASSERT_TRUE(tb.truncated());
+  EXPECT_FALSE(ViewTree::structurally_equal(
+      ViewTree::build(ga, ga.agent_node(1), 5),
+      ViewTree::build(gb, gb.agent_node(1), 5)));
+  EXPECT_TRUE(ViewTree::structurally_equal(ta, tb));
+  EXPECT_EQ(ta.canonical_hash(), tb.canonical_hash());
+  ViewClassCache cache;
+  double x = 0.0;
+  EXPECT_THROW(cache.lookup(ta, 2, 0, &x), CheckError);
+  EXPECT_THROW(cache.insert(ta, 2, 0, 1.0), CheckError);
 }
 
 void expect_cached_matches_uncached(const MaxMinInstance& inst,

@@ -155,6 +155,36 @@ TEST(ViewTree, TryBuildIntoRecordsTruncation) {
   EXPECT_FALSE(view.truncated());
 }
 
+TEST(ViewTree, TruncatedNeighborCacheStaysInBounds) {
+  // Regression: a truncation cut can strand a node whose parent_port lies
+  // beyond its materialised children (the parent edge's port was never
+  // reached); the adjacency cache used to walk that node's child list past
+  // its end.  Sweep budgets on a degree-3 instance so cuts land at every
+  // phase of the BFS, and check every cached slot is a valid node with the
+  // parent edge always present.
+  const MaxMinInstance inst = circulant_special_instance(
+      {.num_objectives = 6, .delta_k = 3, .stride = 5}, 1);
+  const CommGraph g(inst);
+  ViewTree t;
+  for (std::int64_t budget = 1; budget <= 40; ++budget) {
+    ViewTree::try_build_into(g, g.agent_node(0), 6, t, budget);
+    for (std::int32_t i = 0; i < t.size(); ++i) {
+      const auto ids = t.neighbor_ids(i);
+      const auto coeffs = t.neighbor_coeffs(i);
+      ASSERT_EQ(ids.size(), coeffs.size());
+      bool saw_parent = t.node(i).parent < 0;
+      for (const std::int32_t id : ids) {
+        ASSERT_GE(id, 0) << "node " << i << " budget " << budget;
+        ASSERT_LT(id, t.size()) << "node " << i << " budget " << budget;
+        if (id == t.node(i).parent) saw_parent = true;
+      }
+      // The parent edge is how the node was reached, so it must be
+      // materialised even when its port lies beyond the truncation cut.
+      EXPECT_TRUE(saw_parent) << "node " << i << " budget " << budget;
+    }
+  }
+}
+
 TEST(ViewTree, ByteSizeScalesWithNodes) {
   const MaxMinInstance inst = cycle_instance({.num_agents = 8}, 3);
   const CommGraph g(inst);
