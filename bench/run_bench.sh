@@ -3,10 +3,13 @@
 # root so successive PRs can track the numbers:
 #   BENCH_dp_engine.json    per-agent DP engine vs the naive oracle
 #   BENCH_view_cache.json   class-collapsed vs per-agent whole-instance solves
+#   BENCH_engines.json      engine ablation C/L/M/S (time, rounds, messages,
+#                           bytes, max message size)
 #
 # Usage: bench/run_bench.sh [build-dir] [--smoke]
 #   --smoke runs bench_view_cache on CI-sized instances (seconds instead of
-#   minutes); bench_dp_engine has a single size that already fits CI.
+#   minutes); bench_dp_engine and bench_engines have single sizes that
+#   already fit CI, so they run identically in both modes.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,10 +36,29 @@ for arg in "$@"; do
   esac
 done
 
-if [ ! -x "$BUILD_DIR/bench_dp_engine" ] || [ ! -x "$BUILD_DIR/bench_view_cache" ]; then
+if [ ! -x "$BUILD_DIR/bench_dp_engine" ] || [ ! -x "$BUILD_DIR/bench_view_cache" ] \
+    || [ ! -x "$BUILD_DIR/bench_engines" ]; then
   cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" -j --target bench_dp_engine bench_view_cache
+  cmake --build "$BUILD_DIR" -j --target bench_dp_engine bench_view_cache bench_engines
 fi
 
 "$BUILD_DIR/bench_dp_engine" BENCH_dp_engine.json
 "$BUILD_DIR/bench_view_cache" BENCH_view_cache.json $SMOKE
+
+# bench_engines prints self-checking tables (it aborts if the engines ever
+# disagree); wrap its output as JSON lines so the artifact upload picks up
+# the engine-ablation trajectory alongside the structured benches.
+ENGINES_TMP=$(mktemp)
+trap 'rm -f "$ENGINES_TMP"' EXIT
+# No pipe here: a pipeline would take tee's exit status and let a
+# self-check abort slip past `set -e` with a truncated JSON written.
+"$BUILD_DIR/bench_engines" > "$ENGINES_TMP"
+cat "$ENGINES_TMP"
+{
+  printf '{\n  "bench": "engines",\n  "output": [\n'
+  sed -e 's/\\/\\\\/g; s/"/\\"/g; s/^/    "/; s/$/",/' "$ENGINES_TMP" \
+    | sed '$ s/,$//'
+  printf '  ]\n}\n'
+} > BENCH_engines.json
+rm -f "$ENGINES_TMP"
+echo "wrote BENCH_engines.json"

@@ -1,0 +1,123 @@
+#include "dist/message_passing.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/thread_pool.hpp"
+
+namespace locmm {
+
+SyncNetwork::SyncNetwork(const CommGraph& g, std::size_t threads)
+    : g_(g), threads_(threads) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  edge_offsets_.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u)
+    edge_offsets_[u + 1] =
+        edge_offsets_[u] + g.degree(static_cast<NodeId>(u));
+  back_ports_.resize(static_cast<std::size_t>(edge_offsets_[n]));
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::int32_t deg = g.degree(static_cast<NodeId>(u));
+    for (std::int32_t p = 0; p < deg; ++p)
+      back_ports_[static_cast<std::size_t>(edge_offsets_[u] + p)] =
+          g.back_port(static_cast<NodeId>(u), p);
+  }
+}
+
+LocalInput SyncNetwork::local_input(NodeId node) const {
+  LOCMM_CHECK(node >= 0 && node < g_.num_nodes());
+  LocalInput in;
+  in.type = g_.type(node);
+  in.degree = g_.degree(node);
+  in.constraint_degree =
+      in.type == NodeType::kAgent ? g_.constraint_degree(node) : 0;
+  in.coeffs.reserve(static_cast<std::size_t>(in.degree));
+  for (const HalfEdge& e : g_.neighbors(node)) in.coeffs.push_back(e.coeff);
+  return in;
+}
+
+RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
+                          std::int32_t max_rounds) {
+  const NodeId n = g_.num_nodes();
+  LOCMM_CHECK_MSG(static_cast<NodeId>(programs.size()) == n,
+                  "need one program per node: " << programs.size() << " vs "
+                                                << n);
+  const auto sn = static_cast<std::size_t>(n);
+
+  parallel_for(sn, threads_, [&](std::size_t u) {
+    programs[u]->init(local_input(static_cast<NodeId>(u)));
+  });
+
+  // Per-node outboxes and inboxes, reused across rounds.  Every inbox is
+  // degree-sized; delivery overwrites each slot every round (silent ports
+  // are reset to Kind::kNone), so no state leaks between rounds.
+  std::vector<std::vector<Message>> outbox(sn);
+  std::vector<std::vector<Message>> inbox(sn);
+  for (std::size_t u = 0; u < sn; ++u)
+    inbox[u].resize(
+        static_cast<std::size_t>(g_.degree(static_cast<NodeId>(u))));
+
+  RunStats stats;
+  for (;;) {
+    bool all_halted = true;
+    for (std::size_t u = 0; u < sn; ++u) {
+      if (!programs[u]->halted()) {
+        all_halted = false;
+        break;
+      }
+    }
+    if (all_halted) break;
+    LOCMM_CHECK_MSG(stats.rounds < max_rounds,
+                    "SyncNetwork: no convergence after " << max_rounds
+                                                         << " rounds");
+    const std::int32_t round = ++stats.rounds;
+
+    // Send phase: halted nodes stay silent; everyone else contributes one
+    // message per port (or an empty vector for a silent round).
+    parallel_for(sn, threads_, [&](std::size_t u) {
+      outbox[u].clear();
+      if (programs[u]->halted()) return;
+      outbox[u] = programs[u]->send(round);
+      LOCMM_CHECK_MSG(
+          outbox[u].empty() ||
+              static_cast<std::int32_t>(outbox[u].size()) ==
+                  g_.degree(static_cast<NodeId>(u)),
+          "send() must return one message per port or nothing: got "
+              << outbox[u].size() << " for degree "
+              << g_.degree(static_cast<NodeId>(u)));
+    });
+
+    // Delivery: the message leaving port p of u arrives at u's neighbour on
+    // the port leading back to u -- the same back_port resolution the view
+    // unfolding uses, so gathered and directly-built views agree port for
+    // port.  Accounting happens here: only actually-sent (non-kNone)
+    // messages count.
+    for (std::size_t u = 0; u < sn; ++u)
+      for (Message& m : inbox[u]) m.kind = Message::Kind::kNone;
+    for (std::size_t u = 0; u < sn; ++u) {
+      if (outbox[u].empty()) continue;
+      const auto neigh = g_.neighbors(static_cast<NodeId>(u));
+      for (std::size_t p = 0; p < outbox[u].size(); ++p) {
+        Message& m = outbox[u][p];
+        if (m.kind == Message::Kind::kNone) continue;
+        const std::int64_t sz = m.byte_size();
+        ++stats.messages;
+        stats.bytes += sz;
+        stats.max_message_bytes = std::max(stats.max_message_bytes, sz);
+        const NodeId to = neigh[p].to;
+        const std::int32_t q = back_ports_[static_cast<std::size_t>(
+            edge_offsets_[u] + static_cast<std::int64_t>(p))];
+        inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(q)] =
+            std::move(m);
+      }
+    }
+
+    // Receive phase.
+    parallel_for(sn, threads_, [&](std::size_t u) {
+      if (programs[u]->halted()) return;
+      programs[u]->receive(round, std::span<const Message>(inbox[u]));
+    });
+  }
+  return stats;
+}
+
+}  // namespace locmm

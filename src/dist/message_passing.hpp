@@ -1,0 +1,161 @@
+// message_passing.hpp -- the synchronous message-passing substrate (§1.2).
+//
+// The paper's model: a network of anonymous nodes in the port-numbering
+// model, computing in synchronous rounds.  In each round every node (1)
+// sends one message per port, (2) receives the messages its neighbours sent
+// towards it, (3) updates its state.  A local algorithm is one that halts
+// after a constant number of rounds, independent of the network size.
+//
+// SyncNetwork realises this model over a CommGraph: it owns the round loop,
+// port-faithful delivery (a message sent on port p of u arrives at the
+// neighbour's back-port, resolved by the same CommGraph::back_port the view
+// unfolding uses), and the cost accounting the locality benches report
+// (rounds, message count, modeled bytes, largest single message).  Node
+// behaviour is supplied as NodeProgram instances -- one per node, agents and
+// constraint/objective relays alike -- which see *only* their LocalInput
+// (type, degree, per-port coefficients) and their inboxes: nothing
+// identifier-shaped ever reaches a program, so anything expressible here is
+// definable in the port-numbering model by construction.
+//
+// Two engines run on this substrate:
+//   * engine M (dist/gather.hpp)    -- gather the radius-D view, simulate
+//                                      (the faithful realisation of §4.1);
+//   * engine S (dist/streaming.hpp) -- pipeline the t/s/g phases as scalar
+//                                      floods after a shallow gather
+//                                      (exponentially smaller messages,
+//                                      +2 rounds).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+
+namespace locmm {
+
+// One node of a serialized view subtree, preorder.  The wire encoding this
+// models is the same 13-bytes-per-node layout ViewTree::byte_size() accounts
+// (type + degree/ports packed + coefficient); the in-memory struct is wider
+// for simplicity, but all byte statistics use the modeled size so engine M's
+// message volume is comparable with the view-size columns of the benches.
+struct WireNode {
+  NodeType type = NodeType::kAgent;
+  std::int32_t degree = 0;
+  std::int32_t constraint_degree = 0;  // agents only; 0 otherwise
+  std::int32_t parent_port = -1;  // port at THIS node leading to the parent
+  double parent_coeff = 0.0;      // coefficient on the parent edge
+  std::int32_t num_children = 0;  // immediate preorder subtrees that follow
+};
+
+// A message on one port in one round: nothing (the port stays silent), one
+// scalar, or one serialized view subtree.
+struct Message {
+  enum class Kind : std::uint8_t { kNone, kScalar, kView };
+
+  Kind kind = Kind::kNone;
+  double scalar = 0.0;
+  std::vector<WireNode> view;  // preorder; used when kind == kView
+
+  static Message make_scalar(double value) {
+    Message m;
+    m.kind = Kind::kScalar;
+    m.scalar = value;
+    return m;
+  }
+
+  static Message make_view(std::vector<WireNode> nodes) {
+    Message m;
+    m.kind = Kind::kView;
+    m.view = std::move(nodes);
+    return m;
+  }
+
+  // Modeled wire size: 8 bytes per scalar, 13 bytes per serialized view
+  // node (matching ViewTree::byte_size so engine M volume and view size are
+  // directly comparable).
+  std::int64_t byte_size() const {
+    switch (kind) {
+      case Kind::kNone: return 0;
+      case Kind::kScalar: return 8;
+      case Kind::kView: return static_cast<std::int64_t>(view.size()) * 13;
+    }
+    return 0;
+  }
+};
+
+// Everything a node is allowed to know at round 0: its own type, its ports
+// and the coefficient written on each incident edge.  For agents, ports
+// [0, constraint_degree) are constraint edges and the rest objective edges
+// (the CommGraph port convention); for constraint/objective nodes
+// constraint_degree is 0.  Deliberately free of identifiers.
+struct LocalInput {
+  NodeType type = NodeType::kAgent;
+  std::int32_t degree = 0;
+  std::int32_t constraint_degree = 0;
+  std::vector<double> coeffs;  // per port, size == degree
+};
+
+// One node's program.  The scheduler drives rounds 1, 2, ...:
+//   send(round)          -> the outgoing messages, one per port (return an
+//                           empty vector to stay silent this round; a
+//                           Kind::kNone entry silences a single port);
+//   receive(round, inbox) -> the messages delivered this round, indexed by
+//                           the receiving port (Kind::kNone where the
+//                           neighbour stayed silent);
+//   halted()             -> true once the node is done; a halted node no
+//                           longer sends or receives, and the run stops when
+//                           every node has halted.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  virtual void init(const LocalInput& input) = 0;
+  virtual std::vector<Message> send(std::int32_t round) = 0;
+  virtual void receive(std::int32_t round, std::span<const Message> inbox) = 0;
+  virtual bool halted() const = 0;
+};
+
+// Cost accounting of one run, aggregated over all rounds: delivered message
+// count, modeled bytes (Message::byte_size) and the largest single message.
+// `rounds` is the locality headline -- for the engines it depends only on R,
+// never on the network size.
+struct RunStats {
+  std::int32_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  std::int64_t max_message_bytes = 0;
+};
+
+// The synchronous scheduler.  Owns no node state: programs are supplied per
+// run (one per CommGraph node, in node order).  threads: 1 = serial
+// (default; results are bitwise independent of the thread count either way
+// since every program only touches its own slots), 0 = all hardware threads.
+class SyncNetwork {
+ public:
+  explicit SyncNetwork(const CommGraph& g, std::size_t threads = 1);
+
+  // The round-0 knowledge of `node` (see LocalInput).
+  LocalInput local_input(NodeId node) const;
+
+  // Runs rounds until every program halts (CHECK-fails after `max_rounds`
+  // as a runaway guard: the engines here halt after O(R) rounds).  Calls
+  // init on every program first.
+  RunStats run(std::vector<std::unique_ptr<NodeProgram>>& programs,
+               std::int32_t max_rounds = 1 << 20);
+
+  const CommGraph& graph() const { return g_; }
+
+ private:
+  const CommGraph& g_;
+  std::size_t threads_;
+  // back_port(u, p) for every directed edge, precomputed once (the graph is
+  // immutable) so per-round delivery is O(messages) instead of re-scanning
+  // the receiver's port list per message.  Indexed like the CommGraph edge
+  // array: slot(u) + p.
+  std::vector<std::int64_t> edge_offsets_;
+  std::vector<std::int32_t> back_ports_;
+};
+
+}  // namespace locmm

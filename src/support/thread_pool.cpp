@@ -8,6 +8,12 @@
 
 namespace locmm {
 
+namespace {
+// The pool (if any) whose worker is running the current thread.  Set once
+// per worker at startup; parallel_for consults it to detect re-entrant use.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -29,6 +35,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -46,7 +53,14 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   const std::size_t nthreads = workers_.size();
-  if (nthreads <= 1 || n == 1) {
+  // Re-entrant call from one of this pool's own workers: run inline.  The
+  // queue-and-wait path would deadlock here -- the caller is a worker, so
+  // once every worker is a blocked caller nobody is left to drain the queue
+  // (exactly what a SyncNetwork round does when a node program's receive
+  // calls back into parallel_for).  The caller's siblings are already
+  // spreading the *outer* loop across the pool, so inline execution loses
+  // no parallelism.
+  if (tls_worker_pool == this || nthreads <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }

@@ -37,6 +37,12 @@ class ThreadPool {
   // Exceptions thrown by body are captured and the first one is rethrown
   // on the calling thread after the loop drains (remaining indices may be
   // skipped once a failure is recorded).
+  //
+  // Safe to call from inside a body running on this same pool: re-entrant
+  // calls are detected (thread-local worker marker) and run inline on the
+  // calling worker instead of enqueueing -- the queue-and-wait path would
+  // deadlock once every worker is a blocked nested caller, which is what a
+  // SyncNetwork round does when a node program calls back into the library.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   // Process-wide pool, created on first use.  `threads` is honoured only by

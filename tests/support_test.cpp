@@ -154,6 +154,49 @@ TEST(ThreadPool, ZeroIterations) {
   pool.parallel_for(0, [&](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // Regression: parallel_for from one of the pool's own workers used to
+  // enqueue the inner loop and block on done_cv -- once every worker was a
+  // blocked nested caller, nothing drained the queue and the pool
+  // deadlocked (the dist/ SyncNetwork triggers exactly this when a node
+  // program's receive calls back into the library).  Nested calls must run
+  // inline on the calling worker and still cover every index exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 64, kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t i) {
+    pool.parallel_for(kInner, [&](std::size_t j) {
+      hits[i * kInner + j].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForViaGlobalWrapper) {
+  // Same regression through the free-function wrapper both per-agent loops
+  // actually use (outer loop on the global pool, nested loop re-entering
+  // the same pool).
+  const std::shared_ptr<ThreadPool> pool = ThreadPool::global(4);
+  std::vector<std::atomic<int>> hits(48 * 16);
+  pool->parallel_for(48, [&](std::size_t i) {
+    parallel_for(16, /*threads=*/4,
+                 [&](std::size_t j) { hits[i * 16 + j].fetch_add(1); });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t i) {
+                                   pool.parallel_for(8, [&](std::size_t j) {
+                                     if (i == 3 && j == 5)
+                                       throw std::runtime_error("inner boom");
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, GlobalResizeKeepsOldPoolAlive) {
   // Regression: global(threads) used to return ThreadPool& and destroy the
   // old singleton in place on a resize, leaving earlier callers with a
