@@ -5,11 +5,13 @@
 #   BENCH_view_cache.json   class-collapsed vs per-agent whole-instance solves
 #   BENCH_engines.json      engine ablation C/L/M/S (time, rounds, messages,
 #                           bytes, max message size)
+#   BENCH_dynamics.json     incremental (dirty-ball) vs from-scratch re-solve
+#                           after single-coefficient edits (E9)
 #
 # Usage: bench/run_bench.sh [build-dir] [--smoke]
-#   --smoke runs bench_view_cache on CI-sized instances (seconds instead of
-#   minutes); bench_dp_engine and bench_engines have single sizes that
-#   already fit CI, so they run identically in both modes.
+#   --smoke runs bench_view_cache and bench_dynamics on CI-sized instances
+#   (seconds instead of minutes); bench_dp_engine and bench_engines have
+#   single sizes that already fit CI, so they run identically in both modes.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,13 +39,15 @@ for arg in "$@"; do
 done
 
 if [ ! -x "$BUILD_DIR/bench_dp_engine" ] || [ ! -x "$BUILD_DIR/bench_view_cache" ] \
-    || [ ! -x "$BUILD_DIR/bench_engines" ]; then
+    || [ ! -x "$BUILD_DIR/bench_engines" ] || [ ! -x "$BUILD_DIR/bench_dynamics" ]; then
   cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" -j --target bench_dp_engine bench_view_cache bench_engines
+  cmake --build "$BUILD_DIR" -j --target bench_dp_engine bench_view_cache \
+    bench_engines bench_dynamics
 fi
 
 "$BUILD_DIR/bench_dp_engine" BENCH_dp_engine.json
 "$BUILD_DIR/bench_view_cache" BENCH_view_cache.json $SMOKE
+"$BUILD_DIR/bench_dynamics" BENCH_dynamics.json $SMOKE
 
 # bench_engines prints self-checking tables (it aborts if the engines ever
 # disagree); wrap its output as JSON lines so the artifact upload picks up

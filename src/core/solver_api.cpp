@@ -1,9 +1,14 @@
 #include "core/solver_api.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/local_solver.hpp"
+#include "core/view_class_cache.hpp"
 #include "core/view_solver.hpp"
+#include "dist/gather.hpp"
+#include "dist/streaming.hpp"
+#include "dynamic/incremental_solver.hpp"
 #include "transform/transform.hpp"
 
 namespace locmm {
@@ -22,6 +27,33 @@ double theorem1_guarantee(std::int32_t delta_i, std::int32_t delta_k,
          (1.0 + 1.0 / static_cast<double>(R - 1));
 }
 
+namespace {
+
+// The pipeline-independent tail of solve_local: map back, measure, attach
+// the a-priori guarantee.  Shared with LocalResolver's solution refresh.
+void finish_solution(const MaxMinInstance& inst, const Pipeline& pipeline,
+                     std::int32_t R, LocalSolution& sol) {
+  sol.ratio_factor = pipeline.ratio_factor;
+  sol.special_stats = pipeline.special.stats();
+  sol.view_radius = view_radius(R);
+  sol.omega_special = pipeline.special.utility(sol.x_special);
+  sol.x = pipeline.map_back(sol.x_special);
+  sol.omega = inst.utility(sol.x);
+  const InstanceStats orig = inst.stats();
+  sol.guarantee = theorem1_guarantee(std::max(orig.delta_i, 2),
+                                     std::max(orig.delta_k, 2), R);
+}
+
+// min_v t_v through engine C's phase 1, for the engines that do not produce
+// it as a by-product (L / M / S compute t inside per-view evaluations).
+double t_min_via_cone(const SpecialFormInstance& sf, const LocalParams& params) {
+  const std::vector<double> t =
+      compute_t_all(sf, params.R - 2, params.t_search, params.threads);
+  return t.empty() ? 0.0 : *std::min_element(t.begin(), t.end());
+}
+
+}  // namespace
+
 LocalSolution solve_local(const MaxMinInstance& inst,
                           const LocalParams& params) {
   LOCMM_CHECK_MSG(params.R >= 2, "R must be >= 2");
@@ -30,10 +62,6 @@ LocalSolution solve_local(const MaxMinInstance& inst,
   const SpecialFormInstance sf(pipeline.special);
 
   LocalSolution sol;
-  sol.ratio_factor = pipeline.ratio_factor;
-  sol.special_stats = pipeline.special.stats();
-  sol.view_radius = view_radius(params.R);
-
   switch (params.engine) {
     case LocalEngine::kCentralized: {
       SpecialRunResult run = solve_special_centralized(
@@ -48,22 +76,89 @@ LocalSolution solve_local(const MaxMinInstance& inst,
           pipeline.special, params.R, params.t_search, params.threads);
       // t is internal to the per-view evaluation; recompute the global
       // bound cheaply through engine C's phase 1 for the diagnostics.
-      const std::vector<double> t =
-          compute_t_all(sf, params.R - 2, params.t_search, params.threads);
-      sol.t_min_special =
-          t.empty() ? 0.0 : *std::min_element(t.begin(), t.end());
+      sol.t_min_special = t_min_via_cone(sf, params);
+      break;
+    }
+    case LocalEngine::kMessagePassing: {
+      MessageRunResult run = solve_special_message_passing(
+          pipeline.special, params.R, params.t_search, params.threads);
+      sol.x_special = std::move(run.x);
+      sol.net_stats = run.stats;
+      sol.t_min_special = t_min_via_cone(sf, params);
+      break;
+    }
+    case LocalEngine::kStreaming: {
+      StreamingRunResult run = solve_special_streaming(
+          pipeline.special, params.R, params.t_search, params.threads);
+      sol.x_special = std::move(run.x);
+      sol.net_stats = run.stats;
+      sol.t_min_special = t_min_via_cone(sf, params);
       break;
     }
   }
 
-  sol.omega_special = pipeline.special.utility(sol.x_special);
-  sol.x = pipeline.map_back(sol.x_special);
-  sol.omega = inst.utility(sol.x);
-
-  const InstanceStats orig = inst.stats();
-  sol.guarantee = theorem1_guarantee(std::max(orig.delta_i, 2),
-                                     std::max(orig.delta_k, 2), params.R);
+  finish_solution(inst, pipeline, params.R, sol);
   return sol;
+}
+
+// ---------------------------------------------------------------------------
+// LocalResolver
+// ---------------------------------------------------------------------------
+
+LocalResolver::LocalResolver(const MaxMinInstance& inst,
+                             const LocalParams& params)
+    : params_(params), inst_(inst), cache_(std::make_unique<ViewClassCache>()) {
+  LOCMM_CHECK_MSG(params_.R >= 2, "R must be >= 2");
+  pipeline_ = to_special_form(inst_);
+  solve_from_pipeline();
+}
+
+LocalResolver::~LocalResolver() = default;
+LocalResolver::LocalResolver(LocalResolver&&) noexcept = default;
+LocalResolver& LocalResolver::operator=(LocalResolver&&) noexcept = default;
+
+void LocalResolver::solve_from_pipeline() {
+  IncrementalSolver::Options opt;
+  opt.R = params_.R;
+  opt.t_search = params_.t_search;
+  opt.threads = params_.threads;
+  opt.cache = cache_.get();
+  inc_ = std::make_unique<IncrementalSolver>(pipeline_.special, opt);
+  sol_.x_special = inc_->x();
+  finish_solution(inst_, pipeline_, params_.R, sol_);
+}
+
+const LocalSolution& LocalResolver::resolve(const InstanceDelta& delta) {
+  if (delta.empty()) return sol_;
+  // Apply against a copy so a rejected delta (CheckError out of the batch
+  // validation) leaves the resolver exactly as it was; the copy is O(nnz),
+  // which the pipeline re-run below pays anyway.
+  MaxMinInstance next_inst = inst_;
+  next_inst.apply(delta);
+  inst_ = std::move(next_inst);
+
+  // Re-run the §4 pipeline on the edited original.  The transforms are
+  // deterministic whole-instance passes whose *structure* depends only on
+  // the sparsity pattern, so a coefficient-only delta yields a special form
+  // that diffs against the previous one as a small coefficient delta
+  // (structural edits renumber the output and make the diff fail over to a
+  // cache-warm re-initialisation).  The pipeline itself is O(n) with small
+  // constants -- the dirty-ball solve it feeds is what was worth saving.
+  Pipeline next = to_special_form(inst_);
+  const std::optional<InstanceDelta> special_delta =
+      diff_instances(pipeline_.special, next.special);
+  pipeline_ = std::move(next);  // back-maps capture coefficients: always swap
+
+  if (special_delta.has_value()) {
+    last_was_delta_ = true;
+    inc_->apply(*special_delta);
+    sol_.x_special = inc_->x();
+    finish_solution(inst_, pipeline_, params_.R, sol_);
+  } else {
+    last_was_delta_ = false;
+    solve_from_pipeline();  // cache_ survives: seen classes stay colour-hits
+  }
+  return sol_;
 }
 
 }  // namespace locmm

@@ -8,19 +8,35 @@
 //   ratio <= delta_I (1 - 1/delta_K) (1 + 1/(R-1))
 // (paper §6.3); measured ratios against the LP optimum are typically far
 // better (bench E1).
+//
+// LocalResolver is the dynamic entry point (paper §1.3): it holds a solved
+// instance and re-solves *incrementally* under batched edits, routing each
+// original-instance delta through the §4 pipeline to a special-form delta
+// for the radius-D(R) dirty-ball machinery of src/dynamic.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/upper_bound.hpp"
+#include "dist/message_passing.hpp"
+#include "lp/delta.hpp"
 #include "lp/instance.hpp"
+#include "transform/transform.hpp"
 
 namespace locmm {
 
+class IncrementalSolver;  // dynamic/incremental_solver.hpp
+class ViewClassCache;     // core/view_class_cache.hpp
+
 enum class LocalEngine {
-  kCentralized,  // engine C: shared DP on G (fast path; default)
-  kLocalViews,   // engine L: per-agent evaluation on explicit local views
+  kCentralized,     // engine C: shared DP on G (fast path; default)
+  kLocalViews,      // engine L: per-agent evaluation on explicit local views
+  kMessagePassing,  // engine M: gather radius-D views over SyncNetwork, then
+                    // simulate (dist/gather.hpp); exponential-size messages
+  kStreaming,       // engine S: scalar t/s/g floods after a shallow gather
+                    // (dist/streaming.hpp); +2 rounds, small messages
 };
 
 struct LocalParams {
@@ -39,15 +55,79 @@ struct LocalSolution {
   std::vector<double> x_special;    // solution of the special-form instance
   double omega_special = 0.0;       // its utility there
   double t_min_special = 0.0;       // min_v t_v: upper bound on the special
-                                    // optimum (Lemmas 2-3)
+                                    // optimum (Lemmas 2-3); 0 on the
+                                    // incremental path (LocalResolver skips
+                                    // the whole-instance engine-C pass it
+                                    // would cost)
   double ratio_factor = 1.0;        // pipeline factor (delta_I / 2)
   double guarantee = 0.0;           // a-priori ratio bound (see above)
   InstanceStats special_stats;      // size of the transformed instance
   std::int32_t view_radius = 0;     // local horizon D(R) of engine L / M
+  // Scheduler accounting of the distributed engines (M / S): rounds,
+  // delivered messages, modeled bytes, largest message.  All zero for the
+  // simulated engines C / L, which never touch the network substrate.
+  RunStats net_stats;
 };
 
 LocalSolution solve_local(const MaxMinInstance& inst,
                           const LocalParams& params = {});
+
+// Incremental counterpart of solve_local for long-lived, slowly-mutating
+// instances (sensor fields with drifting link qualities, allocation
+// networks under churn).  Construction performs one engine-L cold solve;
+// resolve(delta) then applies an edit batch addressed against the ORIGINAL
+// instance and re-solves at dirty-ball cost:
+//
+//   * the edited original is re-run through the (cheap, deterministic) §4
+//     pipeline and the special-form outputs are diffed (lp/delta.hpp:
+//     diff_instances) -- a coefficient edit surfaces as a small special-form
+//     coefficient delta, which the IncrementalSolver (src/dynamic) absorbs
+//     by re-evaluating only the radius-D(R) ball around the change;
+//   * structural edits (membership add/remove) shift the pipeline's output
+//     numbering, so the special-form instances stop being diffable; the
+//     resolver then re-initialises its IncrementalSolver against the new
+//     special form while KEEPING the cross-solve ViewClassCache, so every
+//     view class ever evaluated is still served by a colour-keyed lookup
+//     and only genuinely new classes pay for an evaluation.
+//
+// Either way solution().x is bit-identical to
+// solve_local(instance(), {.engine = kLocalViews, ...}) on the edited
+// instance (tests/incremental_test.cpp).  t_min_special is not maintained
+// (see LocalSolution).
+class LocalResolver {
+ public:
+  explicit LocalResolver(const MaxMinInstance& inst,
+                         const LocalParams& params = {});
+  ~LocalResolver();
+  LocalResolver(LocalResolver&&) noexcept;
+  LocalResolver& operator=(LocalResolver&&) noexcept;
+
+  const MaxMinInstance& instance() const { return inst_; }
+  const LocalSolution& solution() const { return sol_; }
+
+  // Applies `delta` (original-instance coordinates) and incrementally
+  // re-solves; returns the updated solution.  A delta the batch validation
+  // rejects (lp/delta.hpp) throws CheckError with the resolver unchanged;
+  // a failure deeper in the solve (e.g. an engine-L view blowing its node
+  // budget) propagates with the resolver state unspecified -- rebuild it.
+  const LocalSolution& resolve(const InstanceDelta& delta);
+
+  // Whether the last resolve() took the special-form delta fast path
+  // (coefficient edits) or re-initialised against the rebuilt pipeline
+  // (structural edits; still cache-warm).
+  bool last_resolve_was_delta() const { return last_was_delta_; }
+
+ private:
+  void solve_from_pipeline();  // (re)builds inc_ and sol_ from inst_
+
+  LocalParams params_;
+  MaxMinInstance inst_;
+  Pipeline pipeline_;
+  std::unique_ptr<ViewClassCache> cache_;  // survives re-initialisation
+  std::unique_ptr<IncrementalSolver> inc_;
+  LocalSolution sol_;
+  bool last_was_delta_ = false;
+};
 
 // The a-priori approximation guarantee of Theorem 1's algorithm for an
 // instance with the given degree bounds and shifting parameter.

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <limits>
 
+#include "lp/delta.hpp"
 #include "transform/transform.hpp"
 
 namespace locmm {
 
 SpecialFormInstance::SpecialFormInstance(const MaxMinInstance& instance)
     : inst_(instance) {
+  rebuild_derived();
+}
+
+void SpecialFormInstance::rebuild_derived() {
   const MaxMinInstance& inst = inst_;
   check_special_form(inst);
   const auto n = static_cast<std::size_t>(inst.num_agents());
@@ -63,6 +68,85 @@ SpecialFormInstance::SpecialFormInstance(const MaxMinInstance& instance)
     double hi = inv_cap_[sv];
     for (AgentId w : siblings(v)) hi += inv_cap_[static_cast<std::size_t>(w)];
     t_upper_[sv] = hi;
+  }
+}
+
+void SpecialFormInstance::apply(const InstanceDelta& delta) {
+  // The special form pins every objective coefficient to 1; reject the edit
+  // up front so a bad batch fails before anything mutates.
+  for (const CoeffEdit& e : delta.coeff_edits) {
+    LOCMM_CHECK_MSG(e.kind == RowKind::kConstraint || e.coeff == 1.0,
+                    "objective coefficients are fixed to 1 in special form "
+                    "(edit of row "
+                        << e.row << ", agent " << e.agent << " to " << e.coeff
+                        << ")");
+  }
+
+  inst_.apply(delta);
+  if (delta.structural()) {
+    // Membership edits move degrees/ports; rebuild the derived arrays from
+    // the edited instance (O(n) small-constant passes, including the full
+    // special-form re-check).
+    rebuild_derived();
+    return;
+  }
+
+  // Coefficient-only: patch the touched arcs, then the capacity-derived
+  // values of the affected agents and their objective rows.
+  std::vector<AgentId> touched;  // agents whose inv_cap may have changed
+  for (const CoeffEdit& e : delta.coeff_edits) {
+    if (e.kind != RowKind::kConstraint) continue;  // objective edits: c == 1
+    const auto sv = static_cast<std::size_t>(e.agent);
+    AgentId partner = -1;
+    for (std::int64_t j = arc_offsets_[sv]; j < arc_offsets_[sv + 1]; ++j) {
+      if (arcs_[static_cast<std::size_t>(j)].id == e.row) {
+        arcs_[static_cast<std::size_t>(j)].a_self = e.coeff;
+        partner = arcs_[static_cast<std::size_t>(j)].partner;
+        break;
+      }
+    }
+    LOCMM_CHECK_MSG(partner >= 0, "coefficient edit addresses constraint "
+                                      << e.row << " not incident to agent "
+                                      << e.agent);
+    const auto sp = static_cast<std::size_t>(partner);
+    for (std::int64_t j = arc_offsets_[sp]; j < arc_offsets_[sp + 1]; ++j) {
+      if (arcs_[static_cast<std::size_t>(j)].id == e.row) {
+        arcs_[static_cast<std::size_t>(j)].a_partner = e.coeff;
+        break;
+      }
+    }
+    touched.push_back(e.agent);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  for (const AgentId v : touched) {
+    const auto sv = static_cast<std::size_t>(v);
+    double cap = std::numeric_limits<double>::infinity();
+    for (std::int64_t j = arc_offsets_[sv]; j < arc_offsets_[sv + 1]; ++j) {
+      cap = std::min(cap, 1.0 / arcs_[static_cast<std::size_t>(j)].a_self);
+    }
+    inv_cap_[sv] = cap;
+  }
+
+  // t_search_upper sums inv_cap over the whole objective row, so every
+  // member of a touched agent's row refreshes (in the row's port order,
+  // keeping the bitwise agreement with a fresh construction).
+  std::vector<ObjectiveId> rows;
+  for (const AgentId v : touched) {
+    rows.push_back(objective_[static_cast<std::size_t>(v)]);
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  for (const ObjectiveId k : rows) {
+    for (const Entry& e : inst_.objective_row(k)) {
+      const auto su = static_cast<std::size_t>(e.agent);
+      double hi = inv_cap_[su];
+      for (AgentId w : siblings(e.agent)) {
+        hi += inv_cap_[static_cast<std::size_t>(w)];
+      }
+      t_upper_[su] = hi;
+    }
   }
 }
 

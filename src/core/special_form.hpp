@@ -35,6 +35,21 @@ class SpecialFormInstance {
   // Checks the special-form contract (throws CheckError otherwise).
   explicit SpecialFormInstance(const MaxMinInstance& inst);
 
+  // Applies a batched edit (lp/delta.hpp) to the owned instance and brings
+  // the derived arrays back in sync.  Coefficient-only deltas patch in
+  // place: the touched arcs (a_self at the agent, a_partner at the partner),
+  // then inv_cap and t_search_upper of the affected agents and their
+  // objective rows -- O(edits * row degree), independent of n.  Structural
+  // deltas (membership add/remove) rebuild the derived arrays from the
+  // edited instance -- O(n) with small constants, still negligible next to
+  // any solve; see src/dynamic/incremental_solver.hpp for the layer that
+  // keeps the *solve* ball-local either way.  The special-form contract
+  // must survive the batch: constraint coefficients may take any positive
+  // value, objective coefficients are pinned to 1 (editing one throws), and
+  // structural edits are re-checked in full (|Vi| = 2, |Kv| = 1, |Vk| >= 2)
+  // -- violations throw CheckError.
+  void apply(const InstanceDelta& delta);
+
   const MaxMinInstance& instance() const { return inst_; }
   std::int32_t num_agents() const { return inst_.num_agents(); }
 
@@ -67,6 +82,10 @@ class SpecialFormInstance {
   }
 
  private:
+  // Recomputes every derived array from inst_ (the constructor body; also
+  // the structural-delta path of apply).
+  void rebuild_derived();
+
   MaxMinInstance inst_;
   std::vector<ObjectiveId> objective_;
   std::vector<std::int64_t> sibling_offsets_;

@@ -70,6 +70,15 @@ struct TSearchStats {
   std::atomic<std::int64_t> class_eval_us{0};  // representative build + eval
   std::atomic<std::int64_t> broadcast_us{0};   // x_v fan-out to class members
 
+  // Incremental re-solve counters (src/dynamic/incremental_solver.hpp).
+  // Per update: agents whose radius-D(R) view may have changed (the dirty
+  // ball), agents whose stored output was reused untouched, and the dirty
+  // view classes whose cached evaluation the edit invalidated (each one is
+  // re-evaluated or served by the cross-solve cache; see class_cache_hits).
+  std::atomic<std::int64_t> agents_dirty{0};
+  std::atomic<std::int64_t> agents_reused{0};
+  std::atomic<std::int64_t> classes_invalidated{0};
+
   void reset() {
     f_evals = 0;
     g_evals = 0;
@@ -84,6 +93,9 @@ struct TSearchStats {
     refine_us = 0;
     class_eval_us = 0;
     broadcast_us = 0;
+    agents_dirty = 0;
+    agents_reused = 0;
+    classes_invalidated = 0;
   }
 };
 
@@ -113,6 +125,18 @@ struct TSearchOptions {
   // (canonical hash, R, options fingerprint), so repeated solves over
   // instances sharing view classes skip the evaluation entirely.
   ViewClassCache* view_cache = nullptr;
+  // Restrict view_cache traffic to the colour-keyed entries: misses insert
+  // only the WL-colour key and never touch the canonical-hash layer, which
+  // Merkle-hashes and structurally copies the representative view (O(view
+  // nodes) per class -- measurable when a large dirty ball meets fat
+  // views).  Sound whenever the colours are full-depth fingerprints of the
+  // complete depth-D unfolding (refine_view_classes with full_depth, which
+  // every cache-enabled path uses): equal colours already imply equal views
+  // at the cache's own ~2^-128 risk level, so no hit is lost.  The dynamic
+  // subsystem (src/dynamic) runs with this on; whole-instance solves keep
+  // the default (hash-verified entries) unless told otherwise.  Does not
+  // affect outputs, so it is excluded from the options fingerprint.
+  bool cache_color_keys_only = false;
   // Optional operation-count instrumentation; not owned.  Thread-safe.
   TSearchStats* stats = nullptr;
 };

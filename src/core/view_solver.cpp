@@ -1112,15 +1112,46 @@ std::vector<double> solve_special_local_views(const MaxMinInstance& special,
   }
 
   // Stage 2 (evaluate): build + evaluate one representative per class,
-  // through the cross-solve cache when one is supplied.  Each class writes
-  // its own slot, so the schedule cannot affect the output.  Cache order:
-  // colour-keyed first (no view needed at all -- the warm fast path), then
-  // the canonical-hash entries after the build, then a real evaluation.
+  // through the cross-solve cache when one is supplied.
+  const ClassEvalResult ev = evaluate_view_classes(g, classes, R, opt, threads);
+  if (opt.stats != nullptr) {
+    opt.stats->evals_avoided.fetch_add(
+        static_cast<std::int64_t>(x.size()) - ev.evals,
+        std::memory_order_relaxed);
+  }
+
+  // Stage 3 (broadcast): fan each class value out to its members.
+  Timer broadcast_timer;
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    x[v] = ev.x_class[static_cast<std::size_t>(classes.class_of[v])];
+  }
+  if (opt.stats != nullptr) {
+    opt.stats->broadcast_us.fetch_add(
+        static_cast<std::int64_t>(broadcast_timer.micros()),
+        std::memory_order_relaxed);
+  }
+  return x;
+}
+
+ClassEvalResult evaluate_view_classes(const CommGraph& g,
+                                      const ViewClasses& classes,
+                                      std::int32_t R, const TSearchOptions& opt,
+                                      std::size_t threads) {
+  const std::int32_t D = view_radius(R);
+  const auto num_classes = static_cast<std::size_t>(classes.num_classes());
+  ClassEvalResult res;
+  res.x_class.assign(num_classes, 0.0);
+  if (num_classes == 0) return res;
+
+  // Each class writes its own slot, so the schedule cannot affect the
+  // output.  Cache order: colour-keyed first (no view needed at all -- the
+  // warm fast path), then the canonical-hash entries after the build, then
+  // a real evaluation.
   Timer eval_timer;
   ViewClassCache* const cache = opt.view_cache;
   const std::uint64_t fp =
       cache != nullptr ? ViewClassCache::options_fingerprint(opt) : 0;
-  std::vector<double> xc(num_classes, 0.0);
+  std::vector<double>& xc = res.x_class;
   std::atomic<std::int64_t> cache_hits{0};
   std::atomic<std::int64_t> evals{0};
   parallel_for(num_classes, threads, [&](std::size_t ci) {
@@ -1138,7 +1169,8 @@ std::vector<double> solve_special_local_views(const MaxMinInstance& special,
     thread_local ViewEvalScratch scratch;
     ViewTree::build_into(
         g, g.agent_node(classes.representative[ci]), D, view);
-    if (cache != nullptr && cache->lookup(view, R, fp, &xc[ci])) {
+    if (cache != nullptr && !opt.cache_color_keys_only &&
+        cache->lookup(view, R, fp, &xc[ci])) {
       cache_hits.fetch_add(1, std::memory_order_relaxed);
       cache->insert_color(ckey, xc[ci]);
       return;
@@ -1146,32 +1178,20 @@ std::vector<double> solve_special_local_views(const MaxMinInstance& special,
     xc[ci] = solve_agent_from_view(view, R, opt, &scratch);
     evals.fetch_add(1, std::memory_order_relaxed);
     if (cache != nullptr) {
-      cache->insert(view, R, fp, xc[ci]);
+      if (!opt.cache_color_keys_only) cache->insert(view, R, fp, xc[ci]);
       cache->insert_color(ckey, xc[ci]);
     }
   });
+  res.evals = evals.load();
+  res.cache_hits = cache_hits.load();
   if (opt.stats != nullptr) {
     opt.stats->class_eval_us.fetch_add(
         static_cast<std::int64_t>(eval_timer.micros()),
         std::memory_order_relaxed);
-    opt.stats->class_cache_hits.fetch_add(cache_hits.load(),
+    opt.stats->class_cache_hits.fetch_add(res.cache_hits,
                                           std::memory_order_relaxed);
-    opt.stats->evals_avoided.fetch_add(
-        static_cast<std::int64_t>(x.size()) - evals.load(),
-        std::memory_order_relaxed);
   }
-
-  // Stage 3 (broadcast): fan each class value out to its members.
-  Timer broadcast_timer;
-  for (std::size_t v = 0; v < x.size(); ++v) {
-    x[v] = xc[static_cast<std::size_t>(classes.class_of[v])];
-  }
-  if (opt.stats != nullptr) {
-    opt.stats->broadcast_us.fetch_add(
-        static_cast<std::int64_t>(broadcast_timer.micros()),
-        std::memory_order_relaxed);
-  }
-  return x;
+  return res;
 }
 
 }  // namespace locmm

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/upper_bound.hpp"
+#include "graph/color_refine.hpp"
 #include "graph/view_tree.hpp"
 
 namespace locmm {
@@ -112,5 +113,25 @@ std::vector<double> solve_special_local_views(const MaxMinInstance& special,
                                               std::int32_t R,
                                               const TSearchOptions& opt = {},
                                               std::size_t threads = 1);
+
+// The evaluate stage of the pipeline above, exposed for the incremental
+// subsystem (src/dynamic), which feeds it dirty-ball classes instead of a
+// whole-instance partition: one output per class, each representative
+// evaluated through the optional cross-solve cache (colour-keyed fast path
+// first, canonical-hash entries after the build, then a real evaluation).
+// Reads classes.representative / color_a / color_b / rounds only --
+// class_of and class_size may be left empty.  Updates opt.stats's
+// class_eval_us and class_cache_hits; `evals` counts the evaluations
+// actually run (<= num_classes; the rest came from the cache).  The result
+// is bitwise independent of `threads`.
+struct ClassEvalResult {
+  std::vector<double> x_class;
+  std::int64_t evals = 0;
+  std::int64_t cache_hits = 0;
+};
+ClassEvalResult evaluate_view_classes(const CommGraph& g,
+                                      const ViewClasses& classes,
+                                      std::int32_t R, const TSearchOptions& opt,
+                                      std::size_t threads);
 
 }  // namespace locmm

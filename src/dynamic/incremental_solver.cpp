@@ -1,0 +1,236 @@
+#include "dynamic/incremental_solver.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+#include "support/timer.hpp"
+
+namespace locmm {
+
+IncrementalSolver::IncrementalSolver(const MaxMinInstance& special)
+    : IncrementalSolver(special, Options{}) {}
+
+IncrementalSolver::IncrementalSolver(const MaxMinInstance& special,
+                                     const Options& opt)
+    : opt_(opt), sf_(special), g_(sf_.instance()) {
+  LOCMM_CHECK_MSG(opt_.R >= 2, "R must be >= 2");
+  D_ = view_radius(opt_.R);
+  if (opt_.cache != nullptr) {
+    cache_ = opt_.cache;
+  } else {
+    owned_cache_ = std::make_unique<ViewClassCache>();
+    cache_ = owned_cache_.get();
+  }
+  eval_opt_ = opt_.t_search;
+  eval_opt_.canonicalize_views = true;
+  eval_opt_.view_cache = cache_;
+  // Full-depth colours are always in hand here, so the canonical-hash cache
+  // layer (which hashes and copies every representative view) buys nothing:
+  // colour-keyed entries carry the whole cross-update reuse.
+  eval_opt_.cache_color_keys_only = true;
+
+  node_stamp_.assign(static_cast<std::size_t>(g_.num_nodes()), 0);
+  agent_stamp_.assign(static_cast<std::size_t>(g_.num_agents()), 0);
+
+  // Cold solve: the refine / evaluate-representatives / broadcast pipeline
+  // of solve_special_local_views, run here so the per-agent colours and the
+  // populated cache survive as the update state.  Full-depth colours are
+  // mandatory: they are compared against colours computed on *edited*
+  // graphs later (the cross-instance soundness argument of
+  // graph/color_refine.hpp).
+  const auto n = static_cast<std::size_t>(g_.num_agents());
+  x_.assign(n, 0.0);
+  color_a_.assign(n, 0);
+  color_b_.assign(n, 0);
+  if (n == 0) return;
+
+  Timer refine_timer;
+  const ViewClasses classes =
+      refine_view_classes(g_, D_, /*full_depth=*/true);
+  if (eval_opt_.stats != nullptr) {
+    eval_opt_.stats->refine_us.fetch_add(
+        static_cast<std::int64_t>(refine_timer.micros()),
+        std::memory_order_relaxed);
+    eval_opt_.stats->view_classes.fetch_add(classes.num_classes(),
+                                            std::memory_order_relaxed);
+  }
+  const ClassEvalResult ev =
+      evaluate_view_classes(g_, classes, opt_.R, eval_opt_, opt_.threads);
+  if (eval_opt_.stats != nullptr) {
+    eval_opt_.stats->evals_avoided.fetch_add(
+        static_cast<std::int64_t>(n) - ev.evals, std::memory_order_relaxed);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto ci = static_cast<std::size_t>(classes.class_of[v]);
+    x_[v] = ev.x_class[ci];
+    color_a_[v] = classes.color_a[ci];
+    color_b_[v] = classes.color_b[ci];
+  }
+}
+
+void IncrementalSolver::collect_dirty(const CommGraph& g,
+                                      const std::vector<NodeId>& seeds,
+                                      std::vector<AgentId>& dirty) {
+  // Fresh node stamps per flood (distances differ between the pre- and
+  // post-edit graphs); the agent stamp persists across the two floods of
+  // one update, so `dirty` accumulates the union without duplicates.
+  const std::uint32_t flood_epoch = ++epoch_;
+  const std::uint32_t agent_epoch = epoch_ - (epoch_ % 2 == 0 ? 1 : 0);
+  auto take_agent = [&](NodeId node) {
+    if (g.type(node) != NodeType::kAgent) return;
+    auto& stamp = agent_stamp_[static_cast<std::size_t>(node)];
+    if (stamp >= agent_epoch) return;
+    stamp = agent_epoch;
+    dirty.push_back(static_cast<AgentId>(node));
+  };
+
+  bfs_cur_.clear();
+  bfs_next_.clear();
+  for (const NodeId s : seeds) {
+    auto& stamp = node_stamp_[static_cast<std::size_t>(s)];
+    if (stamp == flood_epoch) continue;
+    stamp = flood_epoch;
+    bfs_cur_.push_back(s);
+    take_agent(s);
+  }
+  for (std::int32_t dist = 0; dist < D_ && !bfs_cur_.empty(); ++dist) {
+    for (const NodeId u : bfs_cur_) {
+      for (const HalfEdge& e : g.neighbors(u)) {
+        auto& stamp = node_stamp_[static_cast<std::size_t>(e.to)];
+        if (stamp == flood_epoch) continue;
+        stamp = flood_epoch;
+        bfs_next_.push_back(e.to);
+        take_agent(e.to);
+      }
+    }
+    bfs_cur_.swap(bfs_next_);
+    bfs_next_.clear();
+  }
+}
+
+const std::vector<double>& IncrementalSolver::apply(
+    const InstanceDelta& delta) {
+  last_ = {};
+  last_.agents_reused = g_.num_agents();
+  if (delta.empty()) return x_;
+
+  // Dirty seeds: both endpoints of every touched edge.  Row/agent counts
+  // never change under membership edits, so node ids are stable across the
+  // pre- and post-edit graphs and one seed list serves both floods.
+  std::vector<NodeId> seeds;
+  auto seed_edit = [&](RowKind kind, std::int32_t row, AgentId agent) {
+    seeds.push_back(kind == RowKind::kConstraint ? g_.constraint_node(row)
+                                                 : g_.objective_node(row));
+    seeds.push_back(g_.agent_node(agent));
+  };
+  for (const MembershipEdit& e : delta.removes) seed_edit(e.kind, e.row, e.agent);
+  for (const MembershipEdit& e : delta.adds) seed_edit(e.kind, e.row, e.agent);
+  for (const CoeffEdit& e : delta.coeff_edits) seed_edit(e.kind, e.row, e.agent);
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  // The per-update agent-dedup epoch spans the (up to) two floods below;
+  // collect_dirty claims epoch numbers pairwise, so force the counter onto
+  // an even boundary first: both floods then share one agent epoch.
+  if (epoch_ % 2 != 0) ++epoch_;
+  LOCMM_CHECK_MSG(epoch_ < 0xFFFFFFF0u, "epoch counter near wrap; "
+                                        "re-create the IncrementalSolver");
+
+  std::vector<AgentId> dirty;
+  Timer flood_timer;
+  if (delta.structural()) {
+    // Pre-edit ball: agents that can *lose* sight of a removed edge (the
+    // new graph may put them beyond D of every seed).
+    collect_dirty(g_, seeds, dirty);
+  }
+  last_.flood_us += flood_timer.micros();
+
+  Timer apply_timer;
+  sf_.apply(delta);
+  if (delta.structural()) {
+    g_ = CommGraph(sf_.instance());
+    LOCMM_CHECK(static_cast<std::size_t>(g_.num_nodes()) ==
+                node_stamp_.size());
+  } else {
+    for (const CoeffEdit& e : delta.coeff_edits) {
+      const NodeId row = e.kind == RowKind::kConstraint
+                             ? g_.constraint_node(e.row)
+                             : g_.objective_node(e.row);
+      g_.set_edge_coefficient(row, g_.agent_node(e.agent), e.coeff);
+    }
+  }
+  last_.apply_us = apply_timer.micros();
+
+  flood_timer.reset();
+  collect_dirty(g_, seeds, dirty);  // post-edit ball
+  std::sort(dirty.begin(), dirty.end());
+  last_.flood_us += flood_timer.micros();
+  last_.agents_dirty = static_cast<std::int64_t>(dirty.size());
+  last_.agents_reused = g_.num_agents() - last_.agents_dirty;
+  if (dirty.empty()) return x_;
+
+  // Re-colour the dirty ball only (cone-restricted WL; bit-equal to a
+  // whole-graph full-depth refine for exactly these agents).
+  Timer refine_timer;
+  const PartialColors pc = refine_agent_colors(g_, D_, dirty);
+  last_.refine_us = refine_timer.micros();
+  last_.region_nodes = pc.region_nodes;
+
+  // Group the dirty agents into view classes by colour.  `dirty` is sorted
+  // ascending, so the first member seen is the smallest agent: the same
+  // representative choice refine_view_classes makes.
+  ViewClasses groups;
+  groups.rounds = D_;
+  std::vector<std::int32_t> group_of(dirty.size());
+  std::unordered_map<ColorPair, std::int32_t, ColorPairHash> ids;
+  ids.reserve(dirty.size());
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const ColorPair c{pc.color_a[i], pc.color_b[i]};
+    const auto [it, inserted] =
+        ids.emplace(c, static_cast<std::int32_t>(groups.representative.size()));
+    if (inserted) {
+      groups.representative.push_back(dirty[i]);
+      groups.class_size.push_back(0);
+      groups.color_a.push_back(c.a);
+      groups.color_b.push_back(c.b);
+    }
+    group_of[i] = it->second;
+    ++groups.class_size[static_cast<std::size_t>(it->second)];
+  }
+  last_.classes_invalidated = groups.num_classes();
+
+  // Evaluate one representative per dirty class (colour-keyed cache hits
+  // skip even the view build), then scatter to the dirty agents.  Clean
+  // agents keep their stored output: their view is unchanged and x_v is a
+  // pure function of the view.
+  Timer eval_timer;
+  const ClassEvalResult ev =
+      evaluate_view_classes(g_, groups, opt_.R, eval_opt_, opt_.threads);
+  last_.eval_us = eval_timer.micros();
+  last_.class_cache_hits = ev.cache_hits;
+  last_.evals = ev.evals;
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const auto v = static_cast<std::size_t>(dirty[i]);
+    x_[v] = ev.x_class[static_cast<std::size_t>(group_of[i])];
+    color_a_[v] = pc.color_a[i];
+    color_b_[v] = pc.color_b[i];
+  }
+
+  if (TSearchStats* s = eval_opt_.stats; s != nullptr) {
+    s->agents_dirty.fetch_add(last_.agents_dirty, std::memory_order_relaxed);
+    s->agents_reused.fetch_add(last_.agents_reused,
+                               std::memory_order_relaxed);
+    s->classes_invalidated.fetch_add(last_.classes_invalidated,
+                                     std::memory_order_relaxed);
+    // All WL time lands in refine_us, cold and incremental alike (the
+    // evaluate stage already flushed class_eval_us / class_cache_hits).
+    s->refine_us.fetch_add(static_cast<std::int64_t>(last_.refine_us),
+                           std::memory_order_relaxed);
+    s->view_classes.fetch_add(last_.classes_invalidated,
+                              std::memory_order_relaxed);
+  }
+  return x_;
+}
+
+}  // namespace locmm

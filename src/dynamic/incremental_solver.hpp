@@ -1,0 +1,139 @@
+// incremental_solver.hpp -- delta-driven dynamic re-solves (paper §1.3).
+//
+// "A local algorithm is automatically an efficient dynamic graph algorithm":
+// because every output x_v is a pure function of v's radius-D(R) local view
+// (PAPER §3, Remarks 4-5), an edit to the instance can only change the
+// outputs of agents whose view contains a touched edge -- the agents within
+// distance D(R) of the edit.  Earlier PRs demonstrated this read-only
+// (bench E9 re-solved from scratch and measured the change radius); this
+// class *exploits* it: it holds a solved SpecialFormInstance plus its
+// solution and applies batched edits by
+//
+//   1. computing the dirty edge set (the rows/agents the delta touches) and
+//      flooding it to the radius-D(R) agent ball on CommGraph -- in both the
+//      pre- and post-edit graphs for structural deltas, since a removed
+//      edge can push agents that used to see it beyond the new horizon;
+//   2. patching the layers below in place (SpecialFormInstance::apply,
+//      CommGraph::set_edge_coefficient; structural deltas rebuild the
+//      graph, an O(V+E) splice that is noise next to any solve);
+//   3. re-colouring ONLY the dirty ball with the cone-restricted WL
+//      refinement (graph/color_refine.hpp: refine_agent_colors), grouping
+//      dirty agents into view-equivalence classes without touching the
+//      other n - |ball| agents;
+//   4. evaluating one representative per dirty class through the engine-L
+//      DP and the persistent ViewClassCache (core/view_solver.hpp:
+//      evaluate_view_classes) -- a class whose full-depth colour was ever
+//      seen before (in the initial solve or any earlier update) skips even
+//      the view build;
+//   5. scattering the class outputs to the dirty agents.  Clean agents keep
+//      their stored output bit-for-bit: their view did not change, and
+//      x_v is a pure function of the view.
+//
+// The result after every apply() is bit-identical to a cold
+// solve_special_local_views of the edited instance (asserted by the
+// randomized scripts in tests/incremental_test.cpp), but the per-update
+// cost is governed by the dirty ball, not by n: the whole-graph WL sweep
+// (O(D |E|)) and the per-class evaluations that dominate a cold solve
+// shrink to their ball-restricted counterparts.  Counters land in
+// TSearchStats (agents_dirty / agents_reused / classes_invalidated) and in
+// the per-update UpdateStats.
+//
+// For edits addressed against an *original* (non-special-form) instance,
+// use LocalResolver (core/solver_api.hpp), which routes the edit through
+// the §4 pipeline and feeds the resulting special-form delta here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/special_form.hpp"
+#include "core/view_class_cache.hpp"
+#include "core/view_solver.hpp"
+#include "graph/comm_graph.hpp"
+#include "lp/delta.hpp"
+
+namespace locmm {
+
+class IncrementalSolver {
+ public:
+  struct Options {
+    std::int32_t R = 4;
+    // Evaluation knobs (tol, engine, stats, ...).  The view_cache field is
+    // ignored: the solver always evaluates through a persistent cache --
+    // `cache` below, or an internally owned one -- because cross-update
+    // colour hits are the point of the exercise.
+    TSearchOptions t_search = {};
+    std::size_t threads = 1;  // 0 = all hardware threads
+    // Optional shared cross-solve cache (not owned).  Lets several solvers
+    // (or a re-initialising LocalResolver) pool their evaluated classes.
+    ViewClassCache* cache = nullptr;
+  };
+
+  // Solves `special` cold (refine + evaluate representatives + broadcast,
+  // exactly solve_special_local_views' pipeline) and keeps everything the
+  // updates need: the instance, the graph, the solution and the per-agent
+  // full-depth WL colours.
+  IncrementalSolver(const MaxMinInstance& special, const Options& opt);
+  explicit IncrementalSolver(const MaxMinInstance& special);
+
+  const std::vector<double>& x() const { return x_; }
+  const SpecialFormInstance& special() const { return sf_; }
+  const CommGraph& graph() const { return g_; }
+  std::int32_t R() const { return opt_.R; }
+  ViewClassCache& cache() { return *cache_; }
+
+  // Per-update accounting (also mirrored into Options::t_search.stats when
+  // set, under the TSearchStats names).
+  struct UpdateStats {
+    std::int64_t agents_dirty = 0;    // |dirty ball| (old + new graph union)
+    std::int64_t agents_reused = 0;   // n - agents_dirty: outputs untouched
+    std::int64_t classes_invalidated = 0;  // dirty view classes this update
+    std::int64_t class_cache_hits = 0;     // ...served by the cache
+    std::int64_t evals = 0;                // ...actually evaluated
+    std::int64_t region_nodes = 0;    // WL recolouring region |ball(dirty,D)|
+    double apply_us = 0.0;   // instance + derived arrays + graph patch
+    double flood_us = 0.0;   // dirty-ball BFS (both graphs on structural)
+    double refine_us = 0.0;  // cone-restricted WL recolouring
+    double eval_us = 0.0;    // dirty-class evaluation (incl. cache lookups)
+  };
+
+  // Applies the batch (lp/delta.hpp semantics: removes, adds, coefficient
+  // edits, in that order) and incrementally re-solves; returns the updated
+  // solution.  Throws CheckError -- with the solver state unspecified -- if
+  // the delta breaks the special-form contract.
+  const std::vector<double>& apply(const InstanceDelta& delta);
+
+  const UpdateStats& last_update() const { return last_; }
+
+ private:
+  // Marks and appends all agents within distance D(R) of `seeds` in `g`.
+  // Dedup across the two floods of one update is epoch-stamped, so repeat
+  // visits cost nothing and no O(n) clearing happens per update.
+  void collect_dirty(const CommGraph& g, const std::vector<NodeId>& seeds,
+                     std::vector<AgentId>& dirty);
+
+  Options opt_;
+  TSearchOptions eval_opt_;  // t_search with view_cache wired to cache_
+  std::int32_t D_ = 0;
+  std::unique_ptr<ViewClassCache> owned_cache_;
+  ViewClassCache* cache_ = nullptr;
+
+  SpecialFormInstance sf_;
+  CommGraph g_;
+  std::vector<double> x_;
+  // Per-agent full-depth WL colours (the class fingerprints of the last
+  // solve state; dirty agents are re-coloured on every update).
+  std::vector<std::uint64_t> color_a_, color_b_;
+
+  // Flood scratch: per-node visited stamps (two floods per update), and a
+  // per-agent stamp deduplicating the union of their agent sets.
+  std::vector<std::uint32_t> node_stamp_;
+  std::vector<std::uint32_t> agent_stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> bfs_cur_, bfs_next_;
+
+  UpdateStats last_;
+};
+
+}  // namespace locmm

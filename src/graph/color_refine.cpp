@@ -13,17 +13,34 @@ namespace {
 constexpr std::uint64_t kSeedA = 0x517cc1b727220a95ull;
 constexpr std::uint64_t kSeedB = 0x2545f4914f6cdd1dull;
 
-struct Color {
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  bool operator==(const Color&) const = default;
-};
+using Color = ColorPair;  // the shared key type of color_refine.hpp
+using ColorHash = ColorPairHash;
 
-struct ColorHash {
-  std::size_t operator()(const Color& c) const {
-    return static_cast<std::size_t>(hash_combine(c.a, c.b));
-  }
-};
+// The two pieces of the recurrence, shared verbatim by the whole-graph
+// refinement and the cone-restricted refine_agent_colors so the two can
+// never diverge: colours are only comparable across the two paths (and
+// across solves, via ViewClassCache::color_key) if every round hashes the
+// identical byte sequence.
+Color initial_color(const CommGraph& g, NodeId node) {
+  const auto type = static_cast<std::uint64_t>(g.type(node));
+  const auto deg = static_cast<std::uint64_t>(g.degree(node));
+  const std::uint64_t cdeg =
+      g.type(node) == NodeType::kAgent
+          ? static_cast<std::uint64_t>(g.constraint_degree(node))
+          : 0;
+  Color c;
+  c.a = hash_combine(hash_combine(hash_combine(kSeedA, type), deg), cdeg);
+  c.b = hash_combine(hash_combine(hash_combine(kSeedB, type), deg), cdeg);
+  return c;
+}
+
+void fold_neighbor(Color& h, const Color& u, std::uint64_t back_port,
+                   std::uint64_t coeff_bits) {
+  h.a = hash_combine(hash_combine(hash_combine(h.a, u.a), back_port),
+                     coeff_bits);
+  h.b = hash_combine(hash_combine(hash_combine(h.b, u.b), back_port),
+                     coeff_bits);
+}
 
 // Counts the distinct colours over all nodes (the partition size; refinement
 // only splits, so an unchanged count means a stable partition).
@@ -63,17 +80,7 @@ ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth,
   // c_0: the node's own local input.
   std::vector<Color> cur(n), next(n);
   for (std::size_t v = 0; v < n; ++v) {
-    const auto node = static_cast<NodeId>(v);
-    const auto type = static_cast<std::uint64_t>(g.type(node));
-    const auto deg = static_cast<std::uint64_t>(g.degree(node));
-    const std::uint64_t cdeg =
-        g.type(node) == NodeType::kAgent
-            ? static_cast<std::uint64_t>(g.constraint_degree(node))
-            : 0;
-    cur[v].a = hash_combine(hash_combine(hash_combine(kSeedA, type), deg),
-                            cdeg);
-    cur[v].b = hash_combine(hash_combine(hash_combine(kSeedB, type), deg),
-                            cdeg);
+    cur[v] = initial_color(g, static_cast<NodeId>(v));
   }
 
   // With full_depth, the hash streams run for ALL `depth` rounds -- never
@@ -98,11 +105,7 @@ ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth,
         const auto u = static_cast<std::size_t>(neigh[p].to);
         const auto bp = static_cast<std::uint64_t>(
             back_port[static_cast<std::size_t>(offsets[v]) + p]);
-        const std::uint64_t coeff = coeff_bits_exact(neigh[p].coeff);
-        h.a = hash_combine(hash_combine(hash_combine(h.a, cur[u].a), bp),
-                           coeff);
-        h.b = hash_combine(hash_combine(hash_combine(h.b, cur[u].b), bp),
-                           coeff);
+        fold_neighbor(h, cur[u], bp, coeff_bits_exact(neigh[p].coeff));
       }
       next[v] = h;
     }
@@ -140,6 +143,97 @@ ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth,
     }
     out.class_of[v] = it->second;
     ++out.class_size[static_cast<std::size_t>(it->second)];
+  }
+  return out;
+}
+
+PartialColors refine_agent_colors(const CommGraph& g, std::int32_t depth,
+                                  std::span<const AgentId> agents) {
+  LOCMM_CHECK(depth >= 0);
+  PartialColors out;
+  out.agents.assign(agents.begin(), agents.end());
+  out.color_a.resize(agents.size());
+  out.color_b.resize(agents.size());
+  if (agents.empty()) return out;
+
+  // Region R = ball(agents, depth), discovered by multi-source BFS; `local`
+  // maps a region node to its index in `region` (everything below indexes
+  // region-locally, so the whole call costs O(|R|), not O(|V|)).
+  std::unordered_map<NodeId, std::int32_t> local;
+  std::vector<NodeId> region;
+  auto visit = [&](NodeId u) -> bool {
+    const auto [it, inserted] =
+        local.emplace(u, static_cast<std::int32_t>(region.size()));
+    if (inserted) region.push_back(u);
+    return inserted;
+  };
+  std::vector<NodeId> frontier, next_frontier;
+  for (const AgentId v : agents) {
+    LOCMM_CHECK(v >= 0 && v < g.num_agents());
+    if (visit(g.agent_node(v))) frontier.push_back(g.agent_node(v));
+  }
+  for (std::int32_t dist = 0; dist < depth && !frontier.empty(); ++dist) {
+    for (const NodeId u : frontier) {
+      for (const HalfEdge& e : g.neighbors(u)) {
+        if (visit(e.to)) next_frontier.push_back(e.to);
+      }
+    }
+    frontier.swap(next_frontier);
+    next_frontier.clear();
+  }
+  out.region_nodes = static_cast<std::int64_t>(region.size());
+
+  // Region-local adjacency: neighbour's local index (-1 when it lies outside
+  // the region), back port and exact coefficient bits, exactly the inputs of
+  // the whole-graph recurrence.
+  std::vector<std::int64_t> offsets(region.size() + 1, 0);
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    offsets[i + 1] = offsets[i] + g.degree(region[i]);
+  }
+  std::vector<std::int32_t> nbr_local(static_cast<std::size_t>(offsets.back()));
+  std::vector<std::uint64_t> nbr_bp(nbr_local.size());
+  std::vector<std::uint64_t> nbr_coeff(nbr_local.size());
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    const NodeId u = region[i];
+    const auto neigh = g.neighbors(u);
+    for (std::size_t p = 0; p < neigh.size(); ++p) {
+      const auto slot = static_cast<std::size_t>(offsets[i]) + p;
+      const auto it = local.find(neigh[p].to);
+      nbr_local[slot] = it == local.end() ? -1 : it->second;
+      nbr_bp[slot] = static_cast<std::uint64_t>(
+          g.back_port(u, static_cast<std::int32_t>(p)));
+      nbr_coeff[slot] = coeff_bits_exact(neigh[p].coeff);
+    }
+  }
+
+  std::vector<Color> cur(region.size()), next(region.size());
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    cur[i] = initial_color(g, region[i]);
+  }
+  // Out-of-region neighbours fold a fixed placeholder: the node reading one
+  // sits at region-boundary distance, so its colour is outside every seed
+  // agent's dependency cone (see the header preamble) and never surfaces.
+  const Color placeholder{};
+  for (std::int32_t round = 0; round < depth; ++round) {
+    for (std::size_t i = 0; i < region.size(); ++i) {
+      Color h = cur[i];
+      for (std::int64_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+        const std::int32_t u = nbr_local[static_cast<std::size_t>(j)];
+        fold_neighbor(h,
+                      u >= 0 ? cur[static_cast<std::size_t>(u)] : placeholder,
+                      nbr_bp[static_cast<std::size_t>(j)],
+                      nbr_coeff[static_cast<std::size_t>(j)]);
+      }
+      next[i] = h;
+    }
+    cur.swap(next);
+  }
+
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    const Color& c = cur[static_cast<std::size_t>(
+        local.at(g.agent_node(agents[static_cast<std::size_t>(i)])))];
+    out.color_a[i] = c.a;
+    out.color_b[i] = c.b;
   }
   return out;
 }

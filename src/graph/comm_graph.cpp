@@ -76,6 +76,31 @@ std::int32_t CommGraph::back_port(NodeId node, std::int32_t port) const {
   return -1;
 }
 
+void CommGraph::set_edge_coefficient(NodeId row_node, NodeId agent,
+                                     double coeff) {
+  LOCMM_CHECK_MSG(type(row_node) != NodeType::kAgent &&
+                      type(agent) == NodeType::kAgent,
+                  "set_edge_coefficient wants (constraint|objective, agent), "
+                  "got ("
+                      << to_string(type(row_node)) << ", "
+                      << to_string(type(agent)) << ")");
+  auto patch = [&](NodeId from, NodeId to) {
+    const auto base = static_cast<std::size_t>(offsets_[
+        static_cast<std::size_t>(from)]);
+    const auto deg = static_cast<std::size_t>(degree(from));
+    for (std::size_t p = 0; p < deg; ++p) {
+      if (edges_[base + p].to == to) {
+        edges_[base + p].coeff = coeff;
+        return true;
+      }
+    }
+    return false;
+  };
+  LOCMM_CHECK_MSG(patch(row_node, agent) && patch(agent, row_node),
+                  "set_edge_coefficient: no edge between node "
+                      << row_node << " and agent " << agent);
+}
+
 std::vector<std::int32_t> CommGraph::bfs_distances(
     NodeId src, std::int32_t max_dist) const {
   LOCMM_CHECK(src >= 0 && src < num_nodes());

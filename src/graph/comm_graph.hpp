@@ -86,6 +86,16 @@ class CommGraph {
     return constraint_degree_[static_cast<std::size_t>(agent)];
   }
 
+  // Patches the coefficient written on the (row_node, agent) edge, in both
+  // directions, without touching the topology.  O(deg) per call: the edge is
+  // located by scanning the two port lists (an agent meets a given row at
+  // most once, so both slots are unique).  This is the coefficient-delta
+  // path of the dynamic subsystem (src/dynamic); structural deltas
+  // (membership add/remove) move degrees and ports and rebuild the graph
+  // through the constructor instead -- O(V+E) with small constants, cheap
+  // next to any solve.
+  void set_edge_coefficient(NodeId row_node, NodeId agent, double coeff);
+
   // BFS distances from `src`, capped at max_dist (nodes farther away get -1).
   std::vector<std::int32_t> bfs_distances(NodeId src,
                                           std::int32_t max_dist) const;

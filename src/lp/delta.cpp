@@ -1,0 +1,219 @@
+#include "lp/delta.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace locmm {
+
+const char* to_string(RowKind k) {
+  switch (k) {
+    case RowKind::kConstraint: return "constraint";
+    case RowKind::kObjective: return "objective";
+  }
+  return "?";
+}
+
+namespace {
+
+// The CSR pair an edit addresses: row entries + agent incidence, selected by
+// RowKind.  All four arrays live inside MaxMinInstance; the helpers below
+// mutate them through these references.
+struct RowArrays {
+  std::vector<std::int64_t>& row_offsets;
+  std::vector<Entry>& row_entries;
+  std::vector<std::int64_t>& agent_offsets;
+  std::vector<Incidence>& agent_inc;
+};
+
+std::int64_t find_in_row(const RowArrays& a, std::int32_t row, AgentId v) {
+  for (std::int64_t j = a.row_offsets[static_cast<std::size_t>(row)];
+       j < a.row_offsets[static_cast<std::size_t>(row) + 1]; ++j) {
+    if (a.row_entries[static_cast<std::size_t>(j)].agent == v) return j;
+  }
+  return -1;
+}
+
+std::int64_t find_in_agent(const RowArrays& a, AgentId v, std::int32_t row) {
+  for (std::int64_t j = a.agent_offsets[static_cast<std::size_t>(v)];
+       j < a.agent_offsets[static_cast<std::size_t>(v) + 1]; ++j) {
+    if (a.agent_inc[static_cast<std::size_t>(j)].row == row) return j;
+  }
+  return -1;
+}
+
+void remove_membership(RowArrays a, const MembershipEdit& e) {
+  const std::int64_t rj = find_in_row(a, e.row, e.agent);
+  LOCMM_CHECK_MSG(rj >= 0, "delta removes agent " << e.agent << " from "
+                                                  << to_string(e.kind)
+                                                  << " row " << e.row
+                                                  << ", but it is not there");
+  a.row_entries.erase(a.row_entries.begin() + rj);
+  for (std::size_t i = static_cast<std::size_t>(e.row) + 1;
+       i < a.row_offsets.size(); ++i) {
+    --a.row_offsets[i];
+  }
+  const std::int64_t aj = find_in_agent(a, e.agent, e.row);
+  LOCMM_CHECK(aj >= 0);
+  a.agent_inc.erase(a.agent_inc.begin() + aj);
+  for (std::size_t i = static_cast<std::size_t>(e.agent) + 1;
+       i < a.agent_offsets.size(); ++i) {
+    --a.agent_offsets[i];
+  }
+}
+
+void add_membership(RowArrays a, const MembershipEdit& e) {
+  LOCMM_CHECK_MSG(e.coeff > 0.0, "delta adds agent "
+                                     << e.agent << " to " << to_string(e.kind)
+                                     << " row " << e.row
+                                     << " with non-positive coefficient "
+                                     << e.coeff);
+  LOCMM_CHECK_MSG(find_in_row(a, e.row, e.agent) < 0,
+                  "delta adds agent " << e.agent << " to " << to_string(e.kind)
+                                      << " row " << e.row
+                                      << ", but it is already there");
+  // Appended at the end of the row: the new entry takes the last port,
+  // exactly where InstanceBuilder would put it.
+  a.row_entries.insert(
+      a.row_entries.begin() + a.row_offsets[static_cast<std::size_t>(e.row) + 1],
+      Entry{e.agent, e.coeff});
+  for (std::size_t i = static_cast<std::size_t>(e.row) + 1;
+       i < a.row_offsets.size(); ++i) {
+    ++a.row_offsets[i];
+  }
+  // Agent side: the builder scans rows in id order, so the incidence list is
+  // sorted ascending by row; insert at the position that keeps it so.
+  std::int64_t pos = a.agent_offsets[static_cast<std::size_t>(e.agent)];
+  const std::int64_t end = a.agent_offsets[static_cast<std::size_t>(e.agent) + 1];
+  while (pos < end && a.agent_inc[static_cast<std::size_t>(pos)].row < e.row) {
+    ++pos;
+  }
+  a.agent_inc.insert(a.agent_inc.begin() + pos, Incidence{e.row, e.coeff});
+  for (std::size_t i = static_cast<std::size_t>(e.agent) + 1;
+       i < a.agent_offsets.size(); ++i) {
+    ++a.agent_offsets[i];
+  }
+}
+
+void edit_coefficient(RowArrays a, const CoeffEdit& e) {
+  LOCMM_CHECK_MSG(e.coeff > 0.0, "delta sets " << to_string(e.kind) << " row "
+                                               << e.row << ", agent "
+                                               << e.agent
+                                               << " to non-positive "
+                                               << e.coeff);
+  const std::int64_t rj = find_in_row(a, e.row, e.agent);
+  LOCMM_CHECK_MSG(rj >= 0, "delta edits " << to_string(e.kind) << " row "
+                                          << e.row << ", agent " << e.agent
+                                          << ", but the entry does not exist");
+  a.row_entries[static_cast<std::size_t>(rj)].coeff = e.coeff;
+  const std::int64_t aj = find_in_agent(a, e.agent, e.row);
+  LOCMM_CHECK(aj >= 0);
+  a.agent_inc[static_cast<std::size_t>(aj)].coeff = e.coeff;
+}
+
+}  // namespace
+
+void MaxMinInstance::apply(const InstanceDelta& delta) {
+  RowArrays con{constraint_offsets_, constraint_entries_,
+                agent_constraint_offsets_, agent_constraint_inc_};
+  RowArrays obj{objective_offsets_, objective_entries_,
+                agent_objective_offsets_, agent_objective_inc_};
+  auto arrays = [&](RowKind k) -> RowArrays& {
+    return k == RowKind::kConstraint ? con : obj;
+  };
+  auto check_row_id = [&](RowKind k, std::int32_t row, AgentId v) {
+    const std::int32_t rows =
+        k == RowKind::kConstraint ? num_constraints() : num_objectives();
+    LOCMM_CHECK_MSG(row >= 0 && row < rows,
+                    to_string(k) << " row " << row << " out of range");
+    LOCMM_CHECK_MSG(v >= 0 && v < num_agents(),
+                    "agent " << v << " out of range");
+  };
+
+  // Touched rows/agents for the end-of-batch local validation.
+  std::vector<std::int32_t> touched_con, touched_obj;
+  std::vector<AgentId> touched_agents;
+  auto touch = [&](RowKind k, std::int32_t row, AgentId v) {
+    (k == RowKind::kConstraint ? touched_con : touched_obj).push_back(row);
+    touched_agents.push_back(v);
+  };
+
+  for (const MembershipEdit& e : delta.removes) {
+    check_row_id(e.kind, e.row, e.agent);
+    remove_membership(arrays(e.kind), e);
+    touch(e.kind, e.row, e.agent);
+  }
+  for (const MembershipEdit& e : delta.adds) {
+    check_row_id(e.kind, e.row, e.agent);
+    add_membership(arrays(e.kind), e);
+    touch(e.kind, e.row, e.agent);
+  }
+  for (const CoeffEdit& e : delta.coeff_edits) {
+    check_row_id(e.kind, e.row, e.agent);
+    edit_coefficient(arrays(e.kind), e);
+    touch(e.kind, e.row, e.agent);
+  }
+
+  // Local invariants of everything the batch touched (the whole-instance
+  // contract of validate(), restricted to the edit's footprint).
+  auto dedup = [](auto& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(touched_con);
+  dedup(touched_obj);
+  dedup(touched_agents);
+  for (const std::int32_t i : touched_con) {
+    LOCMM_CHECK_MSG(!constraint_row(i).empty(),
+                    "delta leaves constraint row " << i << " empty");
+  }
+  for (const std::int32_t k : touched_obj) {
+    LOCMM_CHECK_MSG(!objective_row(k).empty(),
+                    "delta leaves objective row " << k << " empty");
+  }
+  for (const AgentId v : touched_agents) {
+    LOCMM_CHECK_MSG(!agent_constraints(v).empty(),
+                    "delta leaves agent " << v << " without constraints");
+    LOCMM_CHECK_MSG(!agent_objectives(v).empty(),
+                    "delta leaves agent " << v << " without objectives");
+  }
+}
+
+std::optional<InstanceDelta> diff_instances(const MaxMinInstance& from,
+                                            const MaxMinInstance& to) {
+  if (from.num_agents() != to.num_agents() ||
+      from.num_constraints() != to.num_constraints() ||
+      from.num_objectives() != to.num_objectives()) {
+    return std::nullopt;
+  }
+  InstanceDelta delta;
+  auto diff_rows = [&](RowKind kind, std::int32_t rows, auto row_of_from,
+                       auto row_of_to) -> bool {
+    for (std::int32_t r = 0; r < rows; ++r) {
+      const auto a = row_of_from(r);
+      const auto b = row_of_to(r);
+      if (a.size() != b.size()) return false;
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        if (a[j].agent != b[j].agent) return false;
+        // Exact bit compare, so applying the diff reproduces `to` bitwise
+        // (and 0.0 vs -0.0 counts as a change, conservatively).
+        if (std::memcmp(&a[j].coeff, &b[j].coeff, sizeof(double)) != 0) {
+          delta.coeff_edits.push_back({kind, r, a[j].agent, b[j].coeff});
+        }
+      }
+    }
+    return true;
+  };
+  if (!diff_rows(RowKind::kConstraint, from.num_constraints(),
+                 [&](std::int32_t r) { return from.constraint_row(r); },
+                 [&](std::int32_t r) { return to.constraint_row(r); })) {
+    return std::nullopt;
+  }
+  if (!diff_rows(RowKind::kObjective, from.num_objectives(),
+                 [&](std::int32_t r) { return from.objective_row(r); },
+                 [&](std::int32_t r) { return to.objective_row(r); })) {
+    return std::nullopt;
+  }
+  return delta;
+}
+
+}  // namespace locmm

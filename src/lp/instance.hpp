@@ -58,6 +58,7 @@ struct InstanceStats {
 };
 
 class InstanceBuilder;
+struct InstanceDelta;  // lp/delta.hpp
 
 class MaxMinInstance {
  public:
@@ -122,6 +123,15 @@ class MaxMinInstance {
   // nodes) is connected.  The algorithm handles components independently;
   // generators aim to produce connected instances and test with this.
   bool connected() const;
+
+  // Applies a batched edit in place (lp/delta.hpp: removes, then adds, then
+  // coefficient edits), leaving the instance bit-identical to an
+  // InstanceBuilder rebuild of the edited rows.  Cost: O(1) array writes per
+  // coefficient edit; membership edits shift the CSR tails (O(nnz) worst
+  // case -- still microseconds next to any solve).  Checks the local
+  // invariants of the touched rows/agents after the batch; defined in
+  // lp/delta.cpp.
+  void apply(const InstanceDelta& delta);
 
   friend class InstanceBuilder;
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/solver_api.hpp"
+#include "core/view_solver.hpp"
+#include "dist/streaming.hpp"
 #include "gen/generators.hpp"
 #include "lp/maxmin_solver.hpp"
 
@@ -92,6 +94,50 @@ TEST(Api, LocalViewEngineMatchesCentralized) {
   ASSERT_EQ(sc.x.size(), sl.x.size());
   for (std::size_t v = 0; v < sc.x.size(); ++v)
     EXPECT_NEAR(sc.x[v], sl.x[v], 1e-12);
+}
+
+TEST(Api, DistributedEnginesMatchCentralized) {
+  const MaxMinInstance inst = random_general({.num_agents = 10,
+                                              .delta_i = 2,
+                                              .delta_k = 2},
+                                             22);
+  const LocalSolution sc =
+      solve_local(inst, {.R = 2, .engine = LocalEngine::kCentralized});
+  const LocalSolution sm =
+      solve_local(inst, {.R = 2, .engine = LocalEngine::kMessagePassing});
+  const LocalSolution ss =
+      solve_local(inst, {.R = 2, .engine = LocalEngine::kStreaming});
+  ASSERT_EQ(sm.x.size(), sc.x.size());
+  ASSERT_EQ(ss.x.size(), sc.x.size());
+  for (std::size_t v = 0; v < sc.x.size(); ++v) {
+    EXPECT_NEAR(sm.x[v], sc.x[v], 1e-12) << "engine M, agent " << v;
+    EXPECT_NEAR(ss.x[v], sc.x[v], 1e-12) << "engine S, agent " << v;
+  }
+  EXPECT_NEAR(sm.t_min_special, sc.t_min_special, 1e-12);
+  EXPECT_NEAR(ss.t_min_special, sc.t_min_special, 1e-12);
+}
+
+TEST(Api, DistributedEnginesReportSchedulerStats) {
+  const MaxMinInstance inst = path_instance(8);
+  const LocalSolution sc =
+      solve_local(inst, {.R = 2, .engine = LocalEngine::kCentralized});
+  const LocalSolution sm =
+      solve_local(inst, {.R = 2, .engine = LocalEngine::kMessagePassing});
+  const LocalSolution ss =
+      solve_local(inst, {.R = 2, .engine = LocalEngine::kStreaming});
+  // Engine M gathers for the full local horizon; engine S pays two extra
+  // rounds for exponentially smaller messages.
+  EXPECT_EQ(sm.net_stats.rounds, view_radius(2));
+  EXPECT_EQ(ss.net_stats.rounds, streaming_rounds(2));
+  EXPECT_EQ(ss.net_stats.rounds, sm.net_stats.rounds + 2);
+  EXPECT_GT(sm.net_stats.messages, 0);
+  EXPECT_GT(ss.net_stats.messages, 0);
+  EXPECT_GT(sm.net_stats.bytes, 0);
+  EXPECT_GT(sm.net_stats.max_message_bytes, 0);
+  EXPECT_LE(ss.net_stats.max_message_bytes, sm.net_stats.max_message_bytes);
+  // The simulated engines never touch the network substrate.
+  EXPECT_EQ(sc.net_stats.rounds, 0);
+  EXPECT_EQ(sc.net_stats.messages, 0);
 }
 
 TEST(Api, LargerRNeverHurtsMuch) {
