@@ -18,6 +18,16 @@
 // the speedup is bounded by (all classes) / (dirty classes); the JSON
 // records both regimes honestly.
 //
+// The distributed rows (engine M / S) measure the same story in the
+// message-passing model: a dynamic SyncNetwork replays its recorded
+// history, so a single-coefficient edit re-sends only the dirty ball's
+// messages (fresh) and serves everything else from cache (replayed).  Each
+// engine runs at TWO instance sizes so the JSON shows the §1.3 claim
+// directly: fresh counts identical while n doubles.  R stops at 3 for
+// these rows -- the resident history of engine M at R = 4 and 10k agents
+// is ~0.5 GB for no additional information (the fresh/replayed split looks
+// the same at every R).
+//
 // Usage: bench_dynamics [BENCH_dynamics.json] [--smoke]
 #include <cmath>
 #include <cstdio>
@@ -25,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "core/local_solver.hpp"
+#include "core/special_form.hpp"
 #include "core/view_solver.hpp"
 #include "dynamic/incremental_solver.hpp"
 #include "gen/generators.hpp"
@@ -115,6 +127,7 @@ RunResult run_workload(const std::string& name, const MaxMinInstance& inst,
 std::string json_row(const RunResult& r) {
   std::string s = "    {";
   s += "\"generator\": \"" + r.generator + "\"";
+  s += ", \"engine\": \"L\"";
   s += ", \"R\": " + std::to_string(r.R);
   s += ", \"agents\": " + std::to_string(r.agents);
   s += ", \"edits\": " + std::to_string(r.edits);
@@ -125,6 +138,118 @@ std::string json_row(const RunResult& r) {
   s += ", \"agents_dirty\": " + std::to_string(r.agents_dirty);
   s += ", \"classes_invalidated\": " + std::to_string(r.classes_dirty);
   s += ", \"class_cache_hits\": " + std::to_string(r.cache_hits);
+  s += ", \"bit_identical\": ";
+  s += r.identical ? "true" : "false";
+  s += "}";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed dynamic rows: engines M and S over SyncNetwork replay
+// ---------------------------------------------------------------------------
+
+struct DistRunResult {
+  std::string generator;
+  std::string engine;  // "M" or "S"
+  std::int32_t R = 0;
+  std::int64_t agents = 0;
+  std::int64_t edits = 0;
+  double cold_ms = 0.0;
+  std::int64_t cold_messages = 0;  // full recorded run: all fresh
+  double inc_ms = 0.0;             // mean per-edit replay
+  double fresh_messages = 0.0;     // mean per edit: the §1.3 headline
+  double replayed_messages = 0.0;  // mean per edit: cache-served deliveries
+  double fresh_bytes = 0.0;
+  double replayed_bytes = 0.0;
+  double agents_dirty = 0.0;
+  bool identical = true;  // vs the engine's scratch oracle, bitwise
+};
+
+DistRunResult run_dist_workload(const std::string& name,
+                                const MaxMinInstance& inst, std::int32_t R,
+                                DynamicEngine engine, std::int32_t edits,
+                                std::uint64_t seed) {
+  DistRunResult res;
+  res.generator = name;
+  res.engine = engine == DynamicEngine::kMessagePassing ? "M" : "S";
+  res.R = R;
+  res.agents = inst.num_agents();
+  res.edits = edits;
+
+  Timer cold_timer;
+  IncrementalSolver::Options opt;
+  opt.R = R;
+  opt.engine = engine;
+  IncrementalSolver inc(inst, opt);
+  res.cold_ms = cold_timer.millis();
+  res.cold_messages = inc.cold_net_stats().messages;
+
+  MaxMinInstance cur = inst;
+  Rng rng(seed);
+  for (std::int32_t e = 0; e < edits; ++e) {
+    const auto v = static_cast<AgentId>(
+        rng.below(static_cast<std::uint64_t>(inst.num_agents())));
+    const auto arcs = inc.special().arcs(v);
+    const ConstraintArc arc = arcs[rng.below(arcs.size())];
+    InstanceDelta delta;
+    delta.set_constraint_coeff(arc.id, v, rng.uniform(0.5, 2.0));
+
+    Timer inc_timer;
+    inc.apply(delta);
+    res.inc_ms += inc_timer.millis();
+    const auto& u = inc.last_update();
+    res.fresh_messages += static_cast<double>(u.net.fresh_messages);
+    res.replayed_messages += static_cast<double>(u.net.replayed_messages);
+    res.fresh_bytes += static_cast<double>(u.net.fresh_bytes);
+    res.replayed_bytes += static_cast<double>(u.net.replayed_bytes);
+    res.agents_dirty += static_cast<double>(u.agents_dirty);
+
+    cur.apply(delta);
+    // Oracle: engine S reduces in engine C's exact port order; engine M
+    // carries engine L's bits (tests/dynamic_dist_test.cpp locks both).
+    const std::vector<double> scratch =
+        engine == DynamicEngine::kStreaming
+            ? solve_special_centralized(SpecialFormInstance(cur), R).x
+            : solve_special_local_views(cur, R);
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      if (std::memcmp(&scratch[i], &inc.x()[i], sizeof(double)) != 0) {
+        res.identical = false;
+        std::fprintf(stderr,
+                     "MISMATCH %s/%s R=%d edit=%d agent=%zu: %.17g vs %.17g\n",
+                     name.c_str(), res.engine.c_str(), R, e, i, inc.x()[i],
+                     scratch[i]);
+      }
+    }
+  }
+  const double n = static_cast<double>(edits);
+  res.inc_ms /= n;
+  res.fresh_messages /= n;
+  res.replayed_messages /= n;
+  res.fresh_bytes /= n;
+  res.replayed_bytes /= n;
+  res.agents_dirty /= n;
+  LOCMM_CHECK_MSG(res.identical,
+                  "incremental engine-" << res.engine
+                                        << " re-solve diverged from scratch "
+                                        << "on " << name << " at R = " << R);
+  return res;
+}
+
+std::string json_dist_row(const DistRunResult& r) {
+  std::string s = "    {";
+  s += "\"generator\": \"" + r.generator + "\"";
+  s += ", \"engine\": \"" + r.engine + "\"";
+  s += ", \"R\": " + std::to_string(r.R);
+  s += ", \"agents\": " + std::to_string(r.agents);
+  s += ", \"edits\": " + std::to_string(r.edits);
+  s += ", \"cold_ms\": " + std::to_string(r.cold_ms);
+  s += ", \"cold_messages\": " + std::to_string(r.cold_messages);
+  s += ", \"incremental_ms\": " + std::to_string(r.inc_ms);
+  s += ", \"fresh_messages\": " + std::to_string(r.fresh_messages);
+  s += ", \"replayed_messages\": " + std::to_string(r.replayed_messages);
+  s += ", \"fresh_bytes\": " + std::to_string(r.fresh_bytes);
+  s += ", \"replayed_bytes\": " + std::to_string(r.replayed_bytes);
+  s += ", \"agents_dirty\": " + std::to_string(r.agents_dirty);
   s += ", \"bit_identical\": ";
   s += r.identical ? "true" : "false";
   s += "}";
@@ -218,12 +343,70 @@ int main(int argc, char** argv) {
              "instance (cycle_wheel row)");
   table.print();
 
+  // Distributed dynamic rows: the same single-coefficient edits carried by
+  // SyncNetwork replay.  Each engine runs at TWO sizes; the fresh columns
+  // must coincide while cold_messages doubles -- fresh traffic is
+  // ball-sized, independent of n.  Even the smoke sizes must exceed the
+  // replay ball's diameter (~37 layers at R = 3 for engine S), or the ball
+  // wraps the whole wheel and the two sizes stop being comparable.
+  const MaxMinInstance dist_small = layered_instance(
+      {.delta_k = 2, .layers = smoke ? 60 : 2500, .width = 1, .twist = 0});
+  const MaxMinInstance dist_large = layered_instance(
+      {.delta_k = 2, .layers = smoke ? 120 : 5000, .width = 1, .twist = 0});
+  Table dist_table(
+      "E9b: distributed dynamic re-solves (engines M and S over SyncNetwork "
+      "replay, wheel, 1 thread)");
+  dist_table.columns({"engine", "R", "agents", "cold_ms", "cold_msgs",
+                      "inc_ms", "fresh", "replayed", "fresh_B", "dirty",
+                      "identical"});
+  std::vector<DistRunResult> dist_runs;
+  for (const DynamicEngine engine :
+       {DynamicEngine::kMessagePassing, DynamicEngine::kStreaming}) {
+    for (std::int32_t R = 2; R <= 3; ++R) {
+      for (const MaxMinInstance* inst : {&dist_small, &dist_large}) {
+        std::fprintf(stderr, "running dist %s R=%d (%d agents)...\n",
+                     engine == DynamicEngine::kMessagePassing ? "M" : "S", R,
+                     inst->num_agents());
+        const DistRunResult r = run_dist_workload(
+            "cycle_wheel", *inst, R, engine, edits,
+            2000 + static_cast<std::uint64_t>(R));
+        dist_table.row(
+            {Table::cell(r.engine), Table::cell(r.R), Table::cell(r.agents),
+             Table::cell(r.cold_ms, 1), Table::cell(r.cold_messages),
+             Table::cell(r.inc_ms, 2), Table::cell(r.fresh_messages, 0),
+             Table::cell(r.replayed_messages, 0),
+             Table::cell(r.fresh_bytes, 0), Table::cell(r.agents_dirty, 0),
+             Table::cell(r.identical ? "yes" : "NO")});
+        dist_runs.push_back(r);
+      }
+    }
+  }
+  dist_table.note("fresh = messages actually re-sent per edit (dirty ball "
+                  "only); replayed = deliveries served from the recorded "
+                  "history");
+  dist_table.note("ISSUE target: fresh counts equal across the two sizes of "
+                  "each (engine, R) pair -- ball-sized, independent of n");
+  dist_table.print();
+  for (std::size_t i = 0; i + 1 < dist_runs.size(); i += 2) {
+    LOCMM_CHECK_MSG(
+        dist_runs[i].fresh_messages == dist_runs[i + 1].fresh_messages,
+        "fresh messages scaled with n: "
+            << dist_runs[i].fresh_messages << " at "
+            << dist_runs[i].agents << " agents vs "
+            << dist_runs[i + 1].fresh_messages << " at "
+            << dist_runs[i + 1].agents);
+  }
+
   std::string json = "{\n  \"bench\": \"dynamics\",\n  \"mode\": \"";
   json += smoke ? "smoke" : "full";
   json += "\",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     json += json_row(runs[i]);
-    json += i + 1 < runs.size() ? ",\n" : "\n";
+    json += ",\n";
+  }
+  for (std::size_t i = 0; i < dist_runs.size(); ++i) {
+    json += json_dist_row(dist_runs[i]);
+    json += i + 1 < dist_runs.size() ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
 

@@ -123,8 +123,24 @@ void LocalResolver::solve_from_pipeline() {
   opt.t_search = params_.t_search;
   opt.threads = params_.threads;
   opt.cache = cache_.get();
+  // kCentralized has no incremental counterpart (its shared DP is global by
+  // construction); the resolver carries it on the engine-L dirty-ball path,
+  // which the tests hold bit-identical to scratch engine-L solves.
+  switch (params_.engine) {
+    case LocalEngine::kCentralized:
+    case LocalEngine::kLocalViews:
+      opt.engine = DynamicEngine::kMemoizedDp;
+      break;
+    case LocalEngine::kMessagePassing:
+      opt.engine = DynamicEngine::kMessagePassing;
+      break;
+    case LocalEngine::kStreaming:
+      opt.engine = DynamicEngine::kStreaming;
+      break;
+  }
   inc_ = std::make_unique<IncrementalSolver>(pipeline_.special, opt);
   sol_.x_special = inc_->x();
+  sol_.net_stats = inc_->cold_net_stats();
   finish_solution(inst_, pipeline_, params_.R, sol_);
 }
 
@@ -153,6 +169,10 @@ const LocalSolution& LocalResolver::resolve(const InstanceDelta& delta) {
     last_was_delta_ = true;
     inc_->apply(*special_delta);
     sol_.x_special = inc_->x();
+    // The dynamic path's scheduler accounting: fresh messages scale with
+    // the dirty ball, replayed ones with what it consumed from the cache
+    // (both zero for the engine-L resolver, which never touches the wire).
+    sol_.net_stats = inc_->last_update().net;
     finish_solution(inst_, pipeline_, params_.R, sol_);
   } else {
     last_was_delta_ = false;

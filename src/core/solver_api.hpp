@@ -90,10 +90,19 @@ LocalSolution solve_local(const MaxMinInstance& inst,
 //     view class ever evaluated is still served by a colour-keyed lookup
 //     and only genuinely new classes pay for an evaluation.
 //
-// Either way solution().x is bit-identical to
-// solve_local(instance(), {.engine = kLocalViews, ...}) on the edited
-// instance (tests/incremental_test.cpp).  t_min_special is not maintained
-// (see LocalSolution).
+// LocalParams::engine selects the incremental realisation: kLocalViews
+// re-solves through the engine-L dirty-ball machinery; kMessagePassing /
+// kStreaming hold a recorded SyncNetwork and replay it, re-executing only
+// dirty-ball nodes -- solution().net_stats then carries the replay's
+// fresh-vs-replayed message split (paper §1.3, distributed end to end).
+// For those three, solution().x is bit-identical to
+// solve_local(instance(), params) with the same engine on the edited
+// instance (tests/incremental_test.cpp, tests/dynamic_dist_test.cpp).
+// kCentralized has no incremental counterpart (its shared DP is global by
+// construction) and is carried on the engine-L path too: its resolver
+// matches scratch *engine-L* solves bitwise, which coincides with engine C
+// only to ~1e-9 once edits break the instance's symmetry.  t_min_special
+// is not maintained (see LocalSolution).
 class LocalResolver {
  public:
   explicit LocalResolver(const MaxMinInstance& inst,

@@ -35,8 +35,12 @@
 // entries -- the solve still succeeds and the cache keeps answering, it
 // just stops holding representative copies.  Entry records themselves
 // (~100 bytes each, plus one colour-keyed double per class) are NOT
-// bounded by the budget: a truly unbounded stream of distinct classes
-// grows the index; call clear() at workload boundaries if that matters.
+// bounded by the budget; for long-lived caches, epoch-based eviction
+// (Config::max_entry_age + begin_epoch()) bounds them instead: a long edit
+// stream mints a handful of new colour keys per edit, and entries not hit
+// for max_entry_age epochs are swept -- eviction only ever costs a
+// re-evaluation, never correctness.  clear() remains the workload-boundary
+// hammer.
 #pragma once
 
 #include <atomic>
@@ -58,6 +62,14 @@ class ViewClassCache {
     std::int32_t verify_node_limit = 1 << 20;
     // Total view nodes retained across all shards for exact verification.
     std::int64_t resident_node_budget = 32ll << 20;
+    // Epoch-based eviction of entry records (colour-keyed AND hash-keyed):
+    // 0 = keep everything (the default); N > 0 makes begin_epoch() sweep
+    // entries whose last hit or insert is more than N epochs old.  The
+    // sweep itself runs every N-th epoch (amortized O(entries/N) per
+    // epoch), so an unhit entry survives between N and 2N epochs.
+    // IncrementalSolver::apply advances the epoch of its cache once per
+    // update, so N is "survive roughly N edits without a hit".
+    std::uint32_t max_entry_age = 0;
   };
 
   ViewClassCache() : ViewClassCache(Config{}) {}
@@ -106,9 +118,23 @@ class ViewClassCache {
   void insert(const ViewTree& view, std::int32_t R, std::uint64_t fp,
               double x);
 
+  // Advances the eviction epoch and, on every Config::max_entry_age-th
+  // epoch, sweeps the entry records (colour-keyed and hash-keyed) whose
+  // last hit or insert is older than max_entry_age epochs, releasing the
+  // resident-node budget of evicted representative copies.  Call once per
+  // workload unit (IncrementalSolver::apply does, per update).
+  // Thread-safe; concurrent lookups simply miss the swept entries and
+  // re-evaluate.
+  void begin_epoch();
+  std::uint32_t epoch() const { return epoch_.load(); }
+
   std::int64_t entries() const;
+  // Colour-keyed entry records (counted separately from hash-keyed ones).
+  std::int64_t color_entries() const;
   std::int64_t hits() const { return hits_.load(); }
   std::int64_t misses() const { return misses_.load(); }
+  // Entry records dropped by epoch eviction since construction / clear().
+  std::int64_t evictions() const { return evictions_.load(); }
   // View nodes currently retained for exact verification.
   std::int64_t resident_nodes() const { return resident_nodes_.load(); }
 
@@ -122,8 +148,13 @@ class ViewClassCache {
     std::int32_t R = 0;
     std::uint64_t fp = 0;
     bool verified = false;  // true when `view` holds the representative copy
+    std::uint32_t last_used = 0;  // epoch of the last hit or the insert
     ViewTree view;
     double x = 0.0;
+  };
+  struct ColorEntry {
+    double x = 0.0;
+    std::uint32_t last_used = 0;
   };
   struct Shard {
     mutable std::mutex mu;
@@ -134,7 +165,7 @@ class ViewClassCache {
     std::unordered_map<std::uint64_t, std::vector<Entry>> entries;
     // Colour-keyed outputs (see color_key): no arbitration beyond the
     // 128-bit colour folded into the key.
-    std::unordered_map<std::uint64_t, double> color_entries;
+    std::unordered_map<std::uint64_t, ColorEntry> color_entries;
   };
 
   std::size_t shard_of(std::uint64_t key) const {
@@ -150,8 +181,10 @@ class ViewClassCache {
 
   Config config_;
   std::vector<Shard> shards_;
+  std::atomic<std::uint32_t> epoch_{0};
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
   std::atomic<std::int64_t> resident_nodes_{0};
 };
 

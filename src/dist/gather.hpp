@@ -72,7 +72,7 @@ class ViewGatherCore {
 // for agent nodes when R >= 2 -- evaluate the §5 output from the gathered
 // view with the engine-L evaluator.  R = 0 selects gather-only mode (view()
 // still valid; used by the substrate tests and benches).
-class GatherProgram final : public NodeProgram {
+class GatherProgram final : public AgentNodeProgram {
  public:
   GatherProgram(std::int32_t depth, std::int32_t R,
                 const TSearchOptions& opt);
@@ -90,7 +90,7 @@ class GatherProgram final : public NodeProgram {
   const ViewTree& view() const;
 
   // The agent's output x_v (valid once halted, for agent nodes with R >= 2).
-  double x() const { return x_; }
+  double x() const override { return x_; }
 
  private:
   void ensure_assembled() const;

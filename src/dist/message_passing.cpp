@@ -9,17 +9,21 @@ namespace locmm {
 
 SyncNetwork::SyncNetwork(const CommGraph& g, std::size_t threads)
     : g_(g), threads_(threads) {
-  const auto n = static_cast<std::size_t>(g.num_nodes());
+  refresh_topology();
+}
+
+void SyncNetwork::refresh_topology() {
+  const auto n = static_cast<std::size_t>(g_.num_nodes());
   edge_offsets_.assign(n + 1, 0);
   for (std::size_t u = 0; u < n; ++u)
     edge_offsets_[u + 1] =
-        edge_offsets_[u] + g.degree(static_cast<NodeId>(u));
+        edge_offsets_[u] + g_.degree(static_cast<NodeId>(u));
   back_ports_.resize(static_cast<std::size_t>(edge_offsets_[n]));
   for (std::size_t u = 0; u < n; ++u) {
-    const std::int32_t deg = g.degree(static_cast<NodeId>(u));
+    const std::int32_t deg = g_.degree(static_cast<NodeId>(u));
     for (std::int32_t p = 0; p < deg; ++p)
       back_ports_[static_cast<std::size_t>(edge_offsets_[u] + p)] =
-          g.back_port(static_cast<NodeId>(u), p);
+          g_.back_port(static_cast<NodeId>(u), p);
   }
 }
 
@@ -36,12 +40,16 @@ LocalInput SyncNetwork::local_input(NodeId node) const {
 }
 
 RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
-                          std::int32_t max_rounds) {
+                          std::int32_t max_rounds, bool record) {
   const NodeId n = g_.num_nodes();
   LOCMM_CHECK_MSG(static_cast<NodeId>(programs.size()) == n,
                   "need one program per node: " << programs.size() << " vs "
                                                 << n);
   const auto sn = static_cast<std::size_t>(n);
+  if (record) {
+    history_.assign(sn, {});
+    recorded_rounds_ = 0;
+  }
 
   parallel_for(sn, threads_, [&](std::size_t u) {
     programs[u]->init(local_input(static_cast<NodeId>(u)));
@@ -94,7 +102,7 @@ RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
     for (std::size_t u = 0; u < sn; ++u)
       for (Message& m : inbox[u]) m.kind = Message::Kind::kNone;
     for (std::size_t u = 0; u < sn; ++u) {
-      if (outbox[u].empty()) continue;
+      if (outbox[u].empty() && !record) continue;
       const auto neigh = g_.neighbors(static_cast<NodeId>(u));
       for (std::size_t p = 0; p < outbox[u].size(); ++p) {
         Message& m = outbox[u][p];
@@ -106,9 +114,16 @@ RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
         const NodeId to = neigh[p].to;
         const std::int32_t q = back_ports_[static_cast<std::size_t>(
             edge_offsets_[u] + static_cast<std::int64_t>(p))];
-        inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(q)] =
-            std::move(m);
+        Message& slot =
+            inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(q)];
+        // Recording keeps the outbox row for the history; delivery copies.
+        if (record) {
+          slot = m;
+        } else {
+          slot = std::move(m);
+        }
       }
+      if (record) history_[u].push_back(std::move(outbox[u]));
     }
 
     // Receive phase.
@@ -117,7 +132,152 @@ RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
       programs[u]->receive(round, std::span<const Message>(inbox[u]));
     });
   }
+  stats.fresh_messages = stats.messages;
+  stats.fresh_bytes = stats.bytes;
+  if (record) recorded_rounds_ = stats.rounds;
   return stats;
+}
+
+void SyncNetwork::assemble_inbox(NodeId u, std::int32_t round,
+                                 const std::vector<std::int32_t>& activation,
+                                 std::vector<Message>& inbox,
+                                 RunStats& stats) const {
+  const auto neigh = g_.neighbors(u);
+  inbox.resize(neigh.size());
+  for (std::size_t q = 0; q < neigh.size(); ++q) {
+    const NodeId w = neigh[q].to;
+    const std::int32_t p = back_port_of(u, static_cast<std::int32_t>(q));
+    const std::vector<Message>& row =
+        history_[static_cast<std::size_t>(w)][static_cast<std::size_t>(round) -
+                                              1];
+    if (row.empty()) {
+      inbox[q].kind = Message::Kind::kNone;
+      continue;
+    }
+    const Message& m = row[static_cast<std::size_t>(p)];
+    inbox[q] = m;
+    if (m.kind == Message::Kind::kNone) continue;
+    // A sender that already re-sent this round overwrote its row with a
+    // fresh message, counted at send time; everything else is cache-served.
+    const std::int32_t a = activation[static_cast<std::size_t>(w)];
+    if (a == 0 || a > round) {
+      ++stats.replayed_messages;
+      stats.replayed_bytes += m.byte_size();
+    }
+  }
+}
+
+SyncNetwork::ReplayResult SyncNetwork::replay(
+    std::span<const NodeId> dirty_seeds, const ProgramFactory& make,
+    std::span<const std::int32_t> pre_dist) {
+  LOCMM_CHECK_MSG(has_history(),
+                  "replay() needs a prior run(..., record=true)");
+  const auto sn = static_cast<std::size_t>(g_.num_nodes());
+  LOCMM_CHECK(pre_dist.empty() || pre_dist.size() == sn);
+  const std::int32_t T = recorded_rounds_;
+
+  ReplayResult res;
+  res.stats.rounds = T;
+  if (dirty_seeds.empty()) return res;
+
+  // Activation round per node: 1 + min(post-edit dist, pre-edit dist) to
+  // the dirty seeds, 0 when the node never needs to act (distance >= T: its
+  // round-k behaviour depends only on its radius-(k-1) ball, which the edit
+  // never reaches within the schedule).
+  std::vector<std::int32_t> activation(sn, 0);
+  {
+    const std::vector<std::int32_t> dist = g_.bfs_distances(dirty_seeds, T - 1);
+    for (std::size_t u = 0; u < sn; ++u)
+      if (dist[u] >= 0) activation[u] = dist[u] + 1;
+    if (!pre_dist.empty()) {
+      for (std::size_t u = 0; u < sn; ++u) {
+        const std::int32_t pd = pre_dist[u];
+        if (pd < 0 || pd >= T) continue;
+        if (activation[u] == 0 || pd + 1 < activation[u])
+          activation[u] = pd + 1;
+      }
+    }
+  }
+
+  // Nodes bucketed by activation round.
+  std::vector<std::vector<NodeId>> activates_at(static_cast<std::size_t>(T) +
+                                                1);
+  for (std::size_t u = 0; u < sn; ++u) {
+    if (activation[u] > 0)
+      activates_at[static_cast<std::size_t>(activation[u])].push_back(
+          static_cast<NodeId>(u));
+  }
+
+  std::vector<std::int32_t> slot(sn, -1);
+  std::vector<Message> inbox;
+  for (std::int32_t round = 1; round <= T; ++round) {
+    // Activate: instantiate, init, and fast-forward through the cached
+    // inbox history.  Fresh messages of earlier rounds already overwrote
+    // their history rows, so the cache is always current here.
+    for (const NodeId u : activates_at[static_cast<std::size_t>(round)]) {
+      slot[static_cast<std::size_t>(u)] =
+          static_cast<std::int32_t>(res.executed.size());
+      res.executed.push_back(u);
+      res.programs.push_back(make(u));
+      NodeProgram& prog = *res.programs.back();
+      prog.init(local_input(u));
+      for (std::int32_t j = 1; j < round && !prog.halted(); ++j) {
+        assemble_inbox(u, j, activation, inbox, res.stats);
+        prog.receive(j, std::span<const Message>(inbox));
+      }
+    }
+
+    // Send phase: every executed node's history row for this round is
+    // overwritten with what it sends NOW -- possibly nothing (halted or
+    // silent), which clears any stale cached row so clean-cone readers and
+    // later activations can never observe a pre-edit message from a
+    // re-executed node.
+    for (std::size_t i = 0; i < res.executed.size(); ++i) {
+      const NodeId u = res.executed[i];
+      NodeProgram& prog = *res.programs[i];
+      std::vector<Message>& row = history_[static_cast<std::size_t>(
+          u)][static_cast<std::size_t>(round) - 1];
+      if (prog.halted()) {
+        row.clear();
+        continue;
+      }
+      std::vector<Message> out = prog.send(round);
+      LOCMM_CHECK_MSG(out.empty() || static_cast<std::int32_t>(out.size()) ==
+                                         g_.degree(u),
+                      "send() must return one message per port or nothing: "
+                      "got " << out.size() << " for degree " << g_.degree(u));
+      for (const Message& m : out) {
+        if (m.kind == Message::Kind::kNone) continue;
+        const std::int64_t sz = m.byte_size();
+        ++res.stats.fresh_messages;
+        res.stats.fresh_bytes += sz;
+        res.stats.max_message_bytes =
+            std::max(res.stats.max_message_bytes, sz);
+      }
+      row = std::move(out);
+    }
+
+    // Receive phase: only executing nodes consume anything; their inboxes
+    // splice fresh rows (just written) with cached rows of clean senders.
+    for (std::size_t i = 0; i < res.executed.size(); ++i) {
+      const NodeId u = res.executed[i];
+      NodeProgram& prog = *res.programs[i];
+      if (prog.halted()) continue;
+      assemble_inbox(u, round, activation, inbox, res.stats);
+      prog.receive(round, std::span<const Message>(inbox));
+    }
+  }
+
+  for (std::size_t i = 0; i < res.programs.size(); ++i) {
+    LOCMM_CHECK_MSG(res.programs[i]->halted(),
+                    "replay: node " << res.executed[i]
+                                    << " did not halt within the recorded "
+                                    << T << " rounds");
+  }
+  res.stats.messages =
+      res.stats.fresh_messages + res.stats.replayed_messages;
+  res.stats.bytes = res.stats.fresh_bytes + res.stats.replayed_bytes;
+  return res;
 }
 
 }  // namespace locmm

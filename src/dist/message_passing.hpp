@@ -24,9 +24,24 @@
 //                                      floods after a shallow gather
 //                                      (exponentially smaller messages,
 //                                      +2 rounds).
+//
+// Dynamic mode (paper §1.3): a local algorithm is automatically a
+// *distributed dynamic* one -- after an edit, only nodes within the
+// radius-D(R) ball of the touched edges need to act, and in the
+// message-passing model only they need to re-send.  run(..., record=true)
+// persists every node's per-round outbox; replay(dirty_seeds, ...) then
+// re-executes the recorded schedule with the edited graph, activating a
+// node u at round dist(u, dirty) + 1 -- the first round at which u's
+// inbound dependency cone can intersect the edit -- and serving every other
+// delivery from the cached history.  Determinism of NodeProgram makes this
+// exact: a node's round-k message is a pure function of its local input and
+// its inbox history through round k-1, all of which is untouched outside
+// the ball, so cached and freshly-recomputed messages agree bit for bit
+// (asserted by tests/dynamic_dist_test.cpp against from-scratch runs).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -117,15 +132,34 @@ class NodeProgram {
   virtual bool halted() const = 0;
 };
 
-// Cost accounting of one run, aggregated over all rounds: delivered message
-// count, modeled bytes (Message::byte_size) and the largest single message.
-// `rounds` is the locality headline -- for the engines it depends only on R,
-// never on the network size.
+// A NodeProgram whose node computes a §5 agent output x_v.  Engines M and S
+// implement it; the dynamic replay path (dynamic/incremental_solver.hpp)
+// reads x() off re-executed agent nodes without knowing which engine
+// produced them.
+class AgentNodeProgram : public NodeProgram {
+ public:
+  virtual double x() const = 0;
+};
+
+// Cost accounting of one run, aggregated over all rounds.  `rounds` is the
+// locality headline -- for the engines it depends only on R, never on the
+// network size.  Deliveries are split into *fresh* (actually transmitted by
+// an executing node) and *replayed* (served from the recorded inbox history
+// of a previous run by replay()): a full run() is all fresh, and the §1.3
+// benchmark claim is exactly that a replay's fresh side is bounded by the
+// dirty ball while only the replayed side scales with what the ball
+// consumes of its surroundings.  messages == fresh_messages +
+// replayed_messages and bytes == fresh_bytes + replayed_bytes, always;
+// max_message_bytes tracks fresh (wire) messages only.
 struct RunStats {
   std::int32_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t bytes = 0;
   std::int64_t max_message_bytes = 0;
+  std::int64_t fresh_messages = 0;
+  std::int64_t replayed_messages = 0;
+  std::int64_t fresh_bytes = 0;
+  std::int64_t replayed_bytes = 0;
 };
 
 // The synchronous scheduler.  Owns no node state: programs are supplied per
@@ -136,26 +170,109 @@ class SyncNetwork {
  public:
   explicit SyncNetwork(const CommGraph& g, std::size_t threads = 1);
 
+  // The network keeps a reference to `g` and, in dynamic mode, a message
+  // history indexed by its ports: neither survives being moved over.
+  SyncNetwork(const SyncNetwork&) = delete;
+  SyncNetwork& operator=(const SyncNetwork&) = delete;
+
   // The round-0 knowledge of `node` (see LocalInput).
   LocalInput local_input(NodeId node) const;
 
   // Runs rounds until every program halts (CHECK-fails after `max_rounds`
   // as a runaway guard: the engines here halt after O(R) rounds).  Calls
-  // init on every program first.
+  // init on every program first.  With `record`, every node's per-round
+  // outbox is persisted (memory: one copy of the run's total traffic) so
+  // later replay() calls can serve clean nodes' messages from cache.
   RunStats run(std::vector<std::unique_ptr<NodeProgram>>& programs,
-               std::int32_t max_rounds = 1 << 20);
+               std::int32_t max_rounds = 1 << 20, bool record = false);
+
+  // Whether a recorded history is available, and how many rounds it spans.
+  bool has_history() const { return recorded_rounds_ > 0; }
+  std::int32_t recorded_rounds() const { return recorded_rounds_; }
+
+  // Makes one NodeProgram for the given node (replay instantiates programs
+  // lazily: only activated nodes ever get one).
+  using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
+
+  struct ReplayResult {
+    RunStats stats;
+    // The nodes that were re-executed, in activation (round, id) order, and
+    // their programs (parallel vectors).  Every program was driven through
+    // the full recorded schedule and has halted; callers read outputs off
+    // them (e.g. AgentNodeProgram::x).  Nodes not listed here were never
+    // touched: their cached messages are provably still correct.
+    std::vector<NodeId> executed;
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+  };
+
+  // Re-runs the recorded schedule after an instance edit, re-executing only
+  // the nodes whose round-k inbound dependency cone can intersect the edit:
+  // node u activates at round dist(u, dirty_seeds) + 1 (its earlier
+  // behaviour is bitwise determined by unedited inputs), is fast-forwarded
+  // through rounds 1..activation-1 by replaying its cached inboxes, and
+  // from activation on sends fresh messages that overwrite the history in
+  // place -- so after replay() the history is bit-identical to what a full
+  // recorded run on the edited instance would have produced, and edits can
+  // be chained indefinitely.
+  //
+  // `dirty_seeds`: the nodes whose local input changed (both endpoints of
+  // every edited edge).  `pre_dist`: optional per-node distances to the
+  // dirty region in the PRE-edit graph (empty = topology unchanged).
+  // Structural deltas MUST pass it: a removed edge can leave nodes that
+  // were reachable only through it arbitrarily far from every seed in the
+  // post-edit graph while their cached messages still encode paths through
+  // the removed edge -- the same pre+post-graph flood
+  // IncrementalSolver::apply runs for its dirty ball.  Activation uses
+  // min(post-edit distance, pre_dist).
+  //
+  // After a structural edit rebuilt the CommGraph (node counts are stable
+  // under membership edits), call refresh_topology() first.  Replay is
+  // serial: its work is ball-sized by construction.
+  ReplayResult replay(std::span<const NodeId> dirty_seeds,
+                      const ProgramFactory& make,
+                      std::span<const std::int32_t> pre_dist = {});
+
+  // Re-derives the cached port topology (edge offsets, back ports) from the
+  // graph after a structural edit rebuilt it.  The history rows of nodes
+  // whose adjacency changed become stale, but those nodes are dirty seeds
+  // of the edit by definition, so the next replay() overwrites their rows
+  // from round 1 before anything reads them.
+  void refresh_topology();
 
   const CommGraph& graph() const { return g_; }
 
  private:
+  std::int32_t back_port_of(NodeId u, std::int32_t port) const {
+    return back_ports_[static_cast<std::size_t>(
+        edge_offsets_[static_cast<std::size_t>(u)] + port)];
+  }
+
+  // Assembles the round-`round` inbox of `u` from the history (the outbox
+  // rows of u's neighbours), counting cache-served slots into `stats`:
+  // slots whose sender already re-sent this replay were counted as fresh at
+  // send time and are not re-counted.  `activation` maps nodes to their
+  // activation round (0 = not activated).
+  void assemble_inbox(NodeId u, std::int32_t round,
+                      const std::vector<std::int32_t>& activation,
+                      std::vector<Message>& inbox, RunStats& stats) const;
+
   const CommGraph& g_;
   std::size_t threads_;
-  // back_port(u, p) for every directed edge, precomputed once (the graph is
-  // immutable) so per-round delivery is O(messages) instead of re-scanning
-  // the receiver's port list per message.  Indexed like the CommGraph edge
-  // array: slot(u) + p.
+  // back_port(u, p) for every directed edge, precomputed (re-derived by
+  // refresh_topology after structural edits) so per-round delivery is
+  // O(messages) instead of re-scanning the receiver's port list per
+  // message.  Indexed like the CommGraph edge array: slot(u) + p.
   std::vector<std::int64_t> edge_offsets_;
   std::vector<std::int32_t> back_ports_;
+
+  // Dynamic mode: history_[u][k-1] is the outbox u sent in round k (one
+  // Message per port; empty = silent round).  Outbox- rather than
+  // inbox-indexed so replay can re-route deliveries through the post-edit
+  // back ports: a receiver whose port numbering shifted re-executes anyway,
+  // while its clean neighbours' cached rows stay addressed by their own
+  // (unchanged) ports.
+  std::vector<std::vector<std::vector<Message>>> history_;
+  std::int32_t recorded_rounds_ = 0;
 };
 
 }  // namespace locmm

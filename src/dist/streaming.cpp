@@ -27,7 +27,7 @@ struct Step {
   bool agents_send = false;  // else: the relay side replies this round
 };
 
-class StreamingProgram final : public NodeProgram {
+class StreamingProgram final : public AgentNodeProgram {
  public:
   StreamingProgram(std::int32_t r, const TSearchOptions& opt)
       : r_(r),
@@ -197,7 +197,7 @@ class StreamingProgram final : public NodeProgram {
 
   bool halted() const override { return done_; }
 
-  double x() const { return x_; }
+  double x() const override { return x_; }
 
  private:
   // Which exchange (and which half of it) a post-gather round belongs to.
@@ -254,6 +254,12 @@ class StreamingProgram final : public NodeProgram {
 };
 
 }  // namespace
+
+std::unique_ptr<AgentNodeProgram> make_streaming_program(
+    std::int32_t R, const TSearchOptions& opt) {
+  LOCMM_CHECK(R >= 2);
+  return std::make_unique<StreamingProgram>(R - 2, opt);
+}
 
 StreamingRunResult solve_special_streaming(const MaxMinInstance& special,
                                            std::int32_t R,

@@ -48,6 +48,14 @@ namespace locmm {
 // The engine-S round count: 12(R-2) + 7 (7 / 19 / 31 for R = 2 / 3 / 4).
 std::int32_t streaming_rounds(std::int32_t R);
 
+// One engine-S per-node program (the implementation type lives in
+// streaming.cpp).  Exposed so the dynamic replay path
+// (dynamic/incremental_solver.hpp) can re-instantiate programs for the
+// dirty-ball nodes of an edited instance; x() is the agent output once the
+// program halts (0 for relay nodes).
+std::unique_ptr<AgentNodeProgram> make_streaming_program(
+    std::int32_t R, const TSearchOptions& opt = {});
+
 struct StreamingRunResult {
   std::vector<double> x;  // per-agent outputs, == engine C's (tested)
   RunStats stats;         // rounds = streaming_rounds(R), independent of n

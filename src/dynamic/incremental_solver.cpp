@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "dist/gather.hpp"
+#include "dist/streaming.hpp"
 #include "support/hash.hpp"
 #include "support/timer.hpp"
 
@@ -33,17 +35,41 @@ IncrementalSolver::IncrementalSolver(const MaxMinInstance& special,
   node_stamp_.assign(static_cast<std::size_t>(g_.num_nodes()), 0);
   agent_stamp_.assign(static_cast<std::size_t>(g_.num_agents()), 0);
 
+  const auto n = static_cast<std::size_t>(g_.num_agents());
+  x_.assign(n, 0.0);
+  color_a_.assign(n, 0);
+  color_b_.assign(n, 0);
+
+  // The distributed engines build their network even for an empty instance
+  // (the cold run is a no-op): apply_distributed can then rely on net_
+  // unconditionally, and an edit addressed against the empty instance dies
+  // in sf_.apply's batch validation rather than on a null network.
+  if (opt_.engine != DynamicEngine::kMemoizedDp) {
+    // Distributed cold solve: one recorded SyncNetwork run of the selected
+    // engine.  The history it leaves behind is the whole update state --
+    // replays splice the clean cone from it -- so no colours and no class
+    // cache are maintained on this path.
+    net_ = std::make_unique<SyncNetwork>(g_, opt_.threads);
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    programs.reserve(static_cast<std::size_t>(g_.num_nodes()));
+    for (NodeId u = 0; u < g_.num_nodes(); ++u)
+      programs.push_back(make_program(u));
+    cold_net_ = net_->run(programs, 1 << 20, /*record=*/true);
+    for (AgentId v = 0; v < g_.num_agents(); ++v) {
+      const auto* prog = static_cast<const AgentNodeProgram*>(
+          programs[static_cast<std::size_t>(g_.agent_node(v))].get());
+      x_[static_cast<std::size_t>(v)] = prog->x();
+    }
+    return;
+  }
+  if (n == 0) return;
+
   // Cold solve: the refine / evaluate-representatives / broadcast pipeline
   // of solve_special_local_views, run here so the per-agent colours and the
   // populated cache survive as the update state.  Full-depth colours are
   // mandatory: they are compared against colours computed on *edited*
   // graphs later (the cross-instance soundness argument of
   // graph/color_refine.hpp).
-  const auto n = static_cast<std::size_t>(g_.num_agents());
-  x_.assign(n, 0.0);
-  color_a_.assign(n, 0);
-  color_b_.assign(n, 0);
-  if (n == 0) return;
 
   Timer refine_timer;
   const ViewClasses classes =
@@ -109,6 +135,13 @@ void IncrementalSolver::collect_dirty(const CommGraph& g,
   }
 }
 
+std::unique_ptr<NodeProgram> IncrementalSolver::make_program(
+    NodeId /*node*/) const {
+  if (opt_.engine == DynamicEngine::kMessagePassing)
+    return std::make_unique<GatherProgram>(D_, opt_.R, opt_.t_search);
+  return make_streaming_program(opt_.R, opt_.t_search);
+}
+
 const std::vector<double>& IncrementalSolver::apply(
     const InstanceDelta& delta) {
   last_ = {};
@@ -119,16 +152,86 @@ const std::vector<double>& IncrementalSolver::apply(
   // never change under membership edits, so node ids are stable across the
   // pre- and post-edit graphs and one seed list serves both floods.
   std::vector<NodeId> seeds;
-  auto seed_edit = [&](RowKind kind, std::int32_t row, AgentId agent) {
-    seeds.push_back(kind == RowKind::kConstraint ? g_.constraint_node(row)
-                                                 : g_.objective_node(row));
-    seeds.push_back(g_.agent_node(agent));
-  };
-  for (const MembershipEdit& e : delta.removes) seed_edit(e.kind, e.row, e.agent);
-  for (const MembershipEdit& e : delta.adds) seed_edit(e.kind, e.row, e.agent);
-  for (const CoeffEdit& e : delta.coeff_edits) seed_edit(e.kind, e.row, e.agent);
+  delta.for_each_touched_edge(
+      [&](RowKind kind, std::int32_t row, AgentId agent) {
+        seeds.push_back(kind == RowKind::kConstraint
+                            ? g_.constraint_node(row)
+                            : g_.objective_node(row));
+        seeds.push_back(g_.agent_node(agent));
+      });
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  if (opt_.engine == DynamicEngine::kMemoizedDp) {
+    apply_memoized(seeds, delta);
+  } else {
+    apply_distributed(seeds, delta);
+  }
+  return x_;
+}
+
+void IncrementalSolver::apply_distributed(const std::vector<NodeId>& seeds,
+                                          const InstanceDelta& delta) {
+  // Pre-edit distances for structural deltas: a removed edge can leave
+  // nodes that were reachable only through it arbitrarily far from every
+  // seed in the post-edit graph while their cached messages still encode
+  // paths through it -- the replay must activate them too (the same
+  // pre+post-graph flood the engine-L path runs for its dirty ball).
+  std::vector<std::int32_t> pre_dist;
+  Timer flood_timer;
+  if (delta.structural()) {
+    pre_dist = g_.bfs_distances(std::span<const NodeId>(seeds),
+                                net_->recorded_rounds() - 1);
+  }
+  last_.flood_us += flood_timer.micros();
+
+  Timer apply_timer;
+  sf_.apply(delta);
+  if (delta.structural()) {
+    g_ = CommGraph(sf_.instance());
+    LOCMM_CHECK(static_cast<std::size_t>(g_.num_nodes()) ==
+                node_stamp_.size());
+    net_->refresh_topology();
+  } else {
+    for (const CoeffEdit& e : delta.coeff_edits) {
+      const NodeId row = e.kind == RowKind::kConstraint
+                             ? g_.constraint_node(e.row)
+                             : g_.objective_node(e.row);
+      g_.set_edge_coefficient(row, g_.agent_node(e.agent), e.coeff);
+    }
+  }
+  last_.apply_us = apply_timer.micros();
+
+  Timer eval_timer;
+  SyncNetwork::ReplayResult rep = net_->replay(
+      seeds, [this](NodeId u) { return make_program(u); }, pre_dist);
+  last_.eval_us = eval_timer.micros();
+  last_.net = rep.stats;
+
+  std::int64_t dirty_agents = 0;
+  for (std::size_t i = 0; i < rep.executed.size(); ++i) {
+    const NodeId u = rep.executed[i];
+    if (g_.type(u) != NodeType::kAgent) continue;
+    ++dirty_agents;
+    x_[static_cast<std::size_t>(u)] =
+        static_cast<const AgentNodeProgram*>(rep.programs[i].get())->x();
+  }
+  last_.agents_dirty = dirty_agents;
+  last_.agents_reused = g_.num_agents() - dirty_agents;
+
+  if (TSearchStats* s = opt_.t_search.stats; s != nullptr) {
+    s->agents_dirty.fetch_add(last_.agents_dirty, std::memory_order_relaxed);
+    s->agents_reused.fetch_add(last_.agents_reused,
+                               std::memory_order_relaxed);
+  }
+}
+
+void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
+                                       const InstanceDelta& delta) {
+  // One cache epoch per update: entries whose last hit is older than the
+  // cache's configured max_entry_age get swept (no-op on the default
+  // keep-everything configuration).
+  cache_->begin_epoch();
 
   // The per-update agent-dedup epoch spans the (up to) two floods below;
   // collect_dirty claims epoch numbers pairwise, so force the counter onto
@@ -168,7 +271,7 @@ const std::vector<double>& IncrementalSolver::apply(
   last_.flood_us += flood_timer.micros();
   last_.agents_dirty = static_cast<std::int64_t>(dirty.size());
   last_.agents_reused = g_.num_agents() - last_.agents_dirty;
-  if (dirty.empty()) return x_;
+  if (dirty.empty()) return;
 
   // Re-colour the dirty ball only (cone-restricted WL; bit-equal to a
   // whole-graph full-depth refine for exactly these agents).
@@ -230,7 +333,6 @@ const std::vector<double>& IncrementalSolver::apply(
     s->view_classes.fetch_add(last_.classes_invalidated,
                               std::memory_order_relaxed);
   }
-  return x_;
 }
 
 }  // namespace locmm

@@ -38,6 +38,19 @@
 // TSearchStats (agents_dirty / agents_reused / classes_invalidated) and in
 // the per-update UpdateStats.
 //
+// The same observation holds *distributed* (§1.3's actual claim): in the
+// message-passing model, after an edit only the nodes inside the dirty ball
+// need to re-send -- everyone else's messages are provably unchanged and can
+// be replayed from a recorded history.  Options::engine selects the
+// realisation: kMemoizedDp re-solves through the shared-memory engine-L
+// pipeline above; kMessagePassing and kStreaming hold a dynamic SyncNetwork
+// (dist/message_passing.hpp) whose replay(delta) re-executes engine M's
+// view gathering or engine S's scalar phases only on the dirty-ball nodes,
+// splicing cached subtrees / scalars for the clean cone.  Either way the
+// result after every apply() is bit-identical to the matching from-scratch
+// engine run (tests/dynamic_dist_test.cpp), and fresh message counts scale
+// with the ball, never with n (UpdateStats::net).
+//
 // For edits addressed against an *original* (non-special-form) instance,
 // use LocalResolver (core/solver_api.hpp), which routes the edit through
 // the §4 pipeline and feeds the resulting special-form delta here.
@@ -50,10 +63,22 @@
 #include "core/special_form.hpp"
 #include "core/view_class_cache.hpp"
 #include "core/view_solver.hpp"
+#include "dist/message_passing.hpp"
 #include "graph/comm_graph.hpp"
 #include "lp/delta.hpp"
 
 namespace locmm {
+
+// Which engine carries the incremental re-solves.
+enum class DynamicEngine {
+  kMemoizedDp,      // engine L: dirty-ball WL recolouring + class evaluation
+                    // through the persistent colour-keyed cache (default)
+  kMessagePassing,  // engine M: SyncNetwork replay of the view gathering --
+                    // dirty-ball nodes re-gather, the clean cone is spliced
+                    // from cached subtree messages
+  kStreaming,       // engine S: SyncNetwork replay of the t-gather and the
+                    // smoothing/g scalar floods on dirty-ball nodes only
+};
 
 class IncrementalSolver {
  public:
@@ -67,21 +92,41 @@ class IncrementalSolver {
     std::size_t threads = 1;  // 0 = all hardware threads
     // Optional shared cross-solve cache (not owned).  Lets several solvers
     // (or a re-initialising LocalResolver) pool their evaluated classes.
+    // Configure eviction (ViewClassCache::Config::max_entry_age) on the
+    // cache you pass in: apply() advances its epoch once per update.
     ViewClassCache* cache = nullptr;
+    // Engine carrying the updates (see DynamicEngine).  The distributed
+    // engines keep the recorded message history resident (one copy of the
+    // cold run's traffic) -- that history IS the state replay serves the
+    // clean cone from.
+    DynamicEngine engine = DynamicEngine::kMemoizedDp;
   };
 
-  // Solves `special` cold (refine + evaluate representatives + broadcast,
-  // exactly solve_special_local_views' pipeline) and keeps everything the
-  // updates need: the instance, the graph, the solution and the per-agent
-  // full-depth WL colours.
+  // Solves `special` cold -- through the refine / evaluate-representatives
+  // / broadcast pipeline of solve_special_local_views (kMemoizedDp) or a
+  // recorded SyncNetwork run of the selected distributed engine -- and
+  // keeps everything the updates need: the instance, the graph, the
+  // solution, and the per-agent full-depth WL colours (engine L) or the
+  // per-node message history (engines M / S).
   IncrementalSolver(const MaxMinInstance& special, const Options& opt);
   explicit IncrementalSolver(const MaxMinInstance& special);
+
+  // The SyncNetwork reference into g_ and the node-indexed scratch make a
+  // moved-to solver point at the wrong graph; hold it by unique_ptr if it
+  // has to travel.
+  IncrementalSolver(const IncrementalSolver&) = delete;
+  IncrementalSolver& operator=(const IncrementalSolver&) = delete;
 
   const std::vector<double>& x() const { return x_; }
   const SpecialFormInstance& special() const { return sf_; }
   const CommGraph& graph() const { return g_; }
   std::int32_t R() const { return opt_.R; }
+  DynamicEngine engine() const { return opt_.engine; }
   ViewClassCache& cache() { return *cache_; }
+
+  // Scheduler accounting of the cold solve (engines M / S; all zero for
+  // kMemoizedDp, which never touches the network substrate).
+  const RunStats& cold_net_stats() const { return cold_net_; }
 
   // Per-update accounting (also mirrored into Options::t_search.stats when
   // set, under the TSearchStats names).
@@ -96,6 +141,11 @@ class IncrementalSolver {
     double flood_us = 0.0;   // dirty-ball BFS (both graphs on structural)
     double refine_us = 0.0;  // cone-restricted WL recolouring
     double eval_us = 0.0;    // dirty-class evaluation (incl. cache lookups)
+    // Engines M / S: the replay's scheduler accounting.  fresh_* is the
+    // §1.3 headline -- bounded by the dirty ball times the round count,
+    // independent of n; replayed_* is what the ball consumed from the
+    // cached history.  All zero for kMemoizedDp.
+    RunStats net;
   };
 
   // Applies the batch (lp/delta.hpp semantics: removes, adds, coefficient
@@ -113,6 +163,16 @@ class IncrementalSolver {
   void collect_dirty(const CommGraph& g, const std::vector<NodeId>& seeds,
                      std::vector<AgentId>& dirty);
 
+  // One NodeProgram of the selected distributed engine for `node`.
+  std::unique_ptr<NodeProgram> make_program(NodeId node) const;
+
+  // The engine-L update path (WL recolouring + class evaluation) and the
+  // distributed one (SyncNetwork replay); apply() dispatches on the engine.
+  void apply_memoized(const std::vector<NodeId>& seeds,
+                      const InstanceDelta& delta);
+  void apply_distributed(const std::vector<NodeId>& seeds,
+                         const InstanceDelta& delta);
+
   Options opt_;
   TSearchOptions eval_opt_;  // t_search with view_cache wired to cache_
   std::int32_t D_ = 0;
@@ -121,6 +181,10 @@ class IncrementalSolver {
 
   SpecialFormInstance sf_;
   CommGraph g_;
+  // Engines M / S: the recorded network (holds the per-node message history
+  // the replays splice the clean cone from); null for kMemoizedDp.
+  std::unique_ptr<SyncNetwork> net_;
+  RunStats cold_net_;
   std::vector<double> x_;
   // Per-agent full-depth WL colours (the class fingerprints of the last
   // solve state; dirty agents are re-coloured on every update).

@@ -103,10 +103,19 @@ void CommGraph::set_edge_coefficient(NodeId row_node, NodeId agent,
 
 std::vector<std::int32_t> CommGraph::bfs_distances(
     NodeId src, std::int32_t max_dist) const {
-  LOCMM_CHECK(src >= 0 && src < num_nodes());
+  return bfs_distances(std::span<const NodeId>(&src, 1), max_dist);
+}
+
+std::vector<std::int32_t> CommGraph::bfs_distances(
+    std::span<const NodeId> sources, std::int32_t max_dist) const {
   std::vector<std::int32_t> dist(static_cast<std::size_t>(num_nodes()), -1);
-  dist[static_cast<std::size_t>(src)] = 0;
-  std::deque<NodeId> queue{src};
+  std::deque<NodeId> queue;
+  for (const NodeId src : sources) {
+    LOCMM_CHECK(src >= 0 && src < num_nodes());
+    if (dist[static_cast<std::size_t>(src)] == 0) continue;
+    dist[static_cast<std::size_t>(src)] = 0;
+    queue.push_back(src);
+  }
   while (!queue.empty()) {
     const NodeId node = queue.front();
     queue.pop_front();

@@ -100,6 +100,12 @@ class CommGraph {
   std::vector<std::int32_t> bfs_distances(NodeId src,
                                           std::int32_t max_dist) const;
 
+  // Multi-source variant: distance to the nearest of `sources`.  The shared
+  // flood of the dynamic layers -- SyncNetwork::replay derives activation
+  // rounds from it and IncrementalSolver feeds it pre-edit distances.
+  std::vector<std::int32_t> bfs_distances(std::span<const NodeId> sources,
+                                          std::int32_t max_dist) const;
+
   // All nodes within distance max_dist of src, in BFS (distance, discovery)
   // order; the first element is src itself.
   std::vector<NodeId> ball(NodeId src, std::int32_t max_dist) const;

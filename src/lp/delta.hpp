@@ -81,6 +81,19 @@ struct InstanceDelta {
     return removes.size() + adds.size() + coeff_edits.size();
   }
 
+  // Visits every edited (row, agent) edge as (kind, row, agent), in
+  // application order (removes, adds, coefficient edits).  This is the
+  // dirty-seed enumeration shared by the incremental layers: both endpoints
+  // of every visited edge seed the radius-D(R) flood of the engine-L
+  // dirty-ball path (dynamic/incremental_solver.hpp) and the activation
+  // distances of the SyncNetwork replay (dist/message_passing.hpp).
+  template <typename Fn>
+  void for_each_touched_edge(Fn&& fn) const {
+    for (const MembershipEdit& e : removes) fn(e.kind, e.row, e.agent);
+    for (const MembershipEdit& e : adds) fn(e.kind, e.row, e.agent);
+    for (const CoeffEdit& e : coeff_edits) fn(e.kind, e.row, e.agent);
+  }
+
   // --- convenience builders ---------------------------------------------
   InstanceDelta& set_constraint_coeff(ConstraintId i, AgentId v, double a) {
     coeff_edits.push_back({RowKind::kConstraint, i, v, a});

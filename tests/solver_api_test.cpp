@@ -2,6 +2,8 @@
 // instances, diagnostics consistency, guarantee formulas, engine choice.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/solver_api.hpp"
 #include "core/view_solver.hpp"
 #include "dist/streaming.hpp"
@@ -138,6 +140,53 @@ TEST(Api, DistributedEnginesReportSchedulerStats) {
   // The simulated engines never touch the network substrate.
   EXPECT_EQ(sc.net_stats.rounds, 0);
   EXPECT_EQ(sc.net_stats.messages, 0);
+}
+
+TEST(Api, ResolverCarriesDistributedEnginesWithNetStats) {
+  // LocalResolver honours LocalParams::engine: the distributed engines
+  // re-solve by SyncNetwork replay and report the fresh-vs-replayed message
+  // split of the dynamic path (§1.3) through LocalSolution::net_stats.
+  const MaxMinInstance inst = path_instance(10);
+  for (const LocalEngine engine :
+       {LocalEngine::kMessagePassing, LocalEngine::kStreaming}) {
+    LocalParams params;
+    params.R = 2;
+    params.engine = engine;
+    LocalResolver resolver(inst, params);
+    // Cold: a full recorded run, all fresh.
+    const RunStats cold = resolver.solution().net_stats;
+    EXPECT_EQ(cold.rounds, engine == LocalEngine::kMessagePassing
+                               ? view_radius(2)
+                               : streaming_rounds(2));
+    EXPECT_GT(cold.fresh_messages, 0);
+    EXPECT_EQ(cold.replayed_messages, 0);
+
+    // A coefficient edit takes the delta fast path: ball-sized fresh
+    // traffic, the rest replayed from the recorded history.
+    const Entry hit = inst.constraint_row(2)[0];
+    InstanceDelta delta;
+    delta.set_constraint_coeff(2, hit.agent, hit.coeff * 1.5);
+    resolver.resolve(delta);
+    EXPECT_TRUE(resolver.last_resolve_was_delta());
+    const RunStats warm = resolver.solution().net_stats;
+    EXPECT_GT(warm.fresh_messages, 0);
+    EXPECT_GT(warm.replayed_messages, 0);
+    EXPECT_LT(warm.fresh_messages, cold.fresh_messages);
+
+    // And the solution matches a from-scratch solve_local with the same
+    // engine on the edited instance.
+    MaxMinInstance cur = inst;
+    cur.apply(delta);
+    const LocalSolution oracle = solve_local(cur, params);
+    ASSERT_EQ(resolver.solution().x.size(), oracle.x.size());
+    for (std::size_t v = 0; v < oracle.x.size(); ++v) {
+      EXPECT_EQ(std::memcmp(&resolver.solution().x[v], &oracle.x[v],
+                            sizeof(double)),
+                0)
+          << (engine == LocalEngine::kMessagePassing ? "engine M" : "engine S")
+          << ", agent " << v;
+    }
+  }
 }
 
 TEST(Api, LargerRNeverHurtsMuch) {

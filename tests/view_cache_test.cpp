@@ -21,10 +21,13 @@
 #include "core/local_solver.hpp"
 #include "core/view_class_cache.hpp"
 #include "core/view_solver.hpp"
+#include "dynamic/incremental_solver.hpp"
 #include "gen/generators.hpp"
 #include "graph/color_refine.hpp"
 #include "graph/comm_graph.hpp"
 #include "graph/view_tree.hpp"
+#include "lp/delta.hpp"
+#include "support/prng.hpp"
 #include "transform/transform.hpp"
 
 namespace locmm {
@@ -547,6 +550,91 @@ TEST(ViewClassCacheUnit, StructuralCopyAnswersLikeTheOriginal) {
   EXPECT_EQ(view.canonical_hash(), copy.canonical_hash());
   EXPECT_EQ(view.secondary_hash(), copy.secondary_hash());
   EXPECT_EQ(view.size(), copy.size());
+}
+
+TEST(ViewClassCacheEviction, EpochSweepDropsStaleEntries) {
+  const MaxMinInstance inst = cycle_instance({.num_agents = 10}, 3);
+  const CommGraph g(inst);
+  const ViewTree view = ViewTree::build(g, g.agent_node(3), 5);
+  ViewClassCache::Config cfg;
+  cfg.max_entry_age = 2;
+  ViewClassCache cache(cfg);
+  const std::uint64_t fp = ViewClassCache::options_fingerprint({});
+  cache.insert(view, 2, fp, 1.5);
+  cache.insert_color(ViewClassCache::color_key(7, 9, 5, 2, fp), 2.5);
+  ASSERT_EQ(cache.entries(), 1);
+  ASSERT_EQ(cache.color_entries(), 1);
+  ASSERT_GT(cache.resident_nodes(), 0);
+
+  // Age 2: sweeps run on every 2nd epoch and drop entries unhit for more
+  // than 2 epochs, so an unhit entry survives 2-4 epochs.
+  cache.begin_epoch();  // epoch 1: below the age threshold, no sweep
+  cache.begin_epoch();  // epoch 2: sweep, cutoff 0 -> both survive
+  EXPECT_EQ(cache.entries() + cache.color_entries(), 2);
+  EXPECT_EQ(cache.evictions(), 0);
+  double x = 0.0;
+  EXPECT_TRUE(cache.lookup(view, 2, fp, &x));  // refreshes the hash entry
+  cache.begin_epoch();  // epoch 3: off-cadence, no sweep
+  cache.begin_epoch();  // epoch 4: sweep, cutoff 2
+  EXPECT_EQ(cache.entries(), 1);        // hit at epoch 2 -> survives
+  EXPECT_EQ(cache.color_entries(), 0);  // never hit -> swept
+  EXPECT_EQ(cache.evictions(), 1);
+  cache.begin_epoch();  // epoch 5
+  cache.begin_epoch();  // epoch 6: sweep, cutoff 4 -> last entry goes
+  EXPECT_EQ(cache.entries(), 0);
+  EXPECT_EQ(cache.evictions(), 2);
+  EXPECT_EQ(cache.resident_nodes(), 0);  // budget released with the copy
+}
+
+TEST(ViewClassCacheEviction, LongEditStreamStaysBoundedAndBitIdentical) {
+  // ROADMAP "cross-solve cache eviction": every edit mints a handful of new
+  // colour keys, so a keep-everything cache grows without bound across a
+  // long edit stream.  With epoch eviction (IncrementalSolver::apply
+  // advances the epoch once per update) the entry count plateaus, while
+  // every output stays bit-identical to a from-scratch solve -- eviction
+  // can only cost re-evaluations, never correctness.
+  const MaxMinInstance grid =
+      special_grid_instance({.rows = 4, .cols = 10}, 2);
+  const std::int32_t R = 2;
+  const int steps = 30;
+
+  ViewClassCache::Config evict_cfg;
+  evict_cfg.max_entry_age = 3;
+  ViewClassCache evicting(evict_cfg);
+  ViewClassCache unbounded;  // the PR-4 behaviour: keep everything
+
+  IncrementalSolver::Options opt_e, opt_u;
+  opt_e.R = opt_u.R = R;
+  opt_e.cache = &evicting;
+  opt_u.cache = &unbounded;
+  IncrementalSolver inc_e(grid, opt_e);
+  IncrementalSolver inc_u(grid, opt_u);
+
+  MaxMinInstance cur = grid;
+  Rng rng(97);
+  std::int64_t peak_bounded = 0;
+  for (int step = 0; step < steps; ++step) {
+    InstanceDelta delta;
+    const auto v = static_cast<AgentId>(
+        rng.below(static_cast<std::uint64_t>(grid.num_agents())));
+    const auto arcs = inc_e.special().arcs(v);
+    const auto& arc = arcs[rng.below(arcs.size())];
+    delta.set_constraint_coeff(arc.id, v, rng.uniform(0.25, 4.0));
+    inc_e.apply(delta);
+    inc_u.apply(delta);
+    cur.apply(delta);
+    peak_bounded = std::max(
+        peak_bounded, evicting.entries() + evicting.color_entries());
+    expect_bitwise_equal(inc_e.x(), inc_u.x(),
+                         "evicting vs keep-everything solver");
+  }
+  expect_bitwise_equal(inc_e.x(), solve_special_local_views(cur, R),
+                       "evicting solver vs from-scratch");
+  EXPECT_GT(evicting.evictions(), 0);
+  // The stream mints classes monotonically into the unbounded cache; the
+  // evicting one's live set stays a strict subset of that growth.
+  EXPECT_LT(peak_bounded,
+            unbounded.entries() + unbounded.color_entries());
 }
 
 TEST(ViewClassCacheUnit, FingerprintOnlyEntriesAboveVerifyLimit) {
