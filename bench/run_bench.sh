@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Runs the perf-trajectory benchmarks and emits BENCH_*.json at the repo
 # root so successive PRs can track the numbers:
 #   BENCH_dp_engine.json    per-agent DP engine vs the naive oracle
@@ -7,12 +7,19 @@
 #                           bytes, max message size)
 #   BENCH_dynamics.json     incremental (dirty-ball) vs from-scratch re-solve
 #                           after single-coefficient edits (E9)
+#   BENCH_faults.json       recovery overhead under seeded fault injection
+#                           (drop sweep, chaos + crash, permanent crash; E11)
 #
 # Usage: bench/run_bench.sh [build-dir] [--smoke]
-#   --smoke runs bench_view_cache and bench_dynamics on CI-sized instances
-#   (seconds instead of minutes); bench_dp_engine and bench_engines have
-#   single sizes that already fit CI, so they run identically in both modes.
-set -eu
+#   --smoke runs bench_view_cache, bench_dynamics and bench_faults on
+#   CI-sized instances (seconds instead of minutes); bench_dp_engine and
+#   bench_engines have single sizes that already fit CI, so they run
+#   identically in both modes.
+#
+# Every bench self-checks (LOCMM_CHECK aborts on engine disagreement), and
+# pipefail + explicit exit-status propagation below make sure an abort fails
+# this script instead of leaving a truncated JSON behind.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build
@@ -39,15 +46,17 @@ for arg in "$@"; do
 done
 
 if [ ! -x "$BUILD_DIR/bench_dp_engine" ] || [ ! -x "$BUILD_DIR/bench_view_cache" ] \
-    || [ ! -x "$BUILD_DIR/bench_engines" ] || [ ! -x "$BUILD_DIR/bench_dynamics" ]; then
+    || [ ! -x "$BUILD_DIR/bench_engines" ] || [ ! -x "$BUILD_DIR/bench_dynamics" ] \
+    || [ ! -x "$BUILD_DIR/bench_faults" ]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j --target bench_dp_engine bench_view_cache \
-    bench_engines bench_dynamics
+    bench_engines bench_dynamics bench_faults
 fi
 
 "$BUILD_DIR/bench_dp_engine" BENCH_dp_engine.json
-"$BUILD_DIR/bench_view_cache" BENCH_view_cache.json $SMOKE
-"$BUILD_DIR/bench_dynamics" BENCH_dynamics.json $SMOKE
+"$BUILD_DIR/bench_view_cache" BENCH_view_cache.json ${SMOKE:+"$SMOKE"}
+"$BUILD_DIR/bench_dynamics" BENCH_dynamics.json ${SMOKE:+"$SMOKE"}
+"$BUILD_DIR/bench_faults" BENCH_faults.json ${SMOKE:+"$SMOKE"}
 
 # bench_engines prints self-checking tables (it aborts if the engines ever
 # disagree); wrap its output as JSON lines so the artifact upload picks up

@@ -1,11 +1,13 @@
 #include "core/solver_api.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "core/local_solver.hpp"
 #include "core/view_class_cache.hpp"
 #include "core/view_solver.hpp"
+#include "dist/fault.hpp"
 #include "dist/gather.hpp"
 #include "dist/streaming.hpp"
 #include "dynamic/incremental_solver.hpp"
@@ -52,11 +54,50 @@ double t_min_via_cone(const SpecialFormInstance& sf, const LocalParams& params) 
   return t.empty() ? 0.0 : *std::min_element(t.begin(), t.end());
 }
 
+// Lifts per-special-agent degradation flags through the §4 back-maps to the
+// original agents.  Every back-map stage is a coordinate selection (prefix
+// truncation), a positive scaling (x/gamma, 2x/divisor), or a max() over
+// split copies / halves -- so a sentinel pushed far ABOVE any feasible value
+// propagates to exactly the original coordinates that read at least one
+// degraded special agent.  (A downward perturbation would be unsound: the
+// max() over copies can mask it behind a clean sibling, and masking is
+// precisely wrong here -- the clean sibling's argmax status itself hinges on
+// the degraded copy's unknown true value.)  Flags are detected bitwise
+// against the unperturbed map-back, which the sentinel's ~1e30 magnitude
+// makes unambiguous.
+std::vector<std::uint8_t> degraded_to_original(
+    const Pipeline& pipeline, const std::vector<double>& x_special,
+    const std::vector<std::uint8_t>& degraded_special,
+    const std::vector<double>& x_original) {
+  std::vector<std::uint8_t> out(x_original.size(), 0);
+  bool any = false;
+  for (const std::uint8_t f : degraded_special) any = any || (f != 0);
+  if (!any) return out;
+
+  LOCMM_CHECK(degraded_special.size() == x_special.size());
+  std::vector<double> probe = x_special;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    if (degraded_special[i] != 0)
+      probe[i] = 1e30 * (1.0 + static_cast<double>(i % 13));
+  }
+  const std::vector<double> moved = pipeline.map_back(probe);
+  LOCMM_CHECK(moved.size() == x_original.size());
+  for (std::size_t v = 0; v < moved.size(); ++v) {
+    out[v] = std::memcmp(&moved[v], &x_original[v], sizeof(double)) != 0 ? 1
+                                                                         : 0;
+  }
+  return out;
+}
+
 }  // namespace
 
 LocalSolution solve_local(const MaxMinInstance& inst,
                           const LocalParams& params) {
   LOCMM_CHECK_MSG(params.R >= 2, "R must be >= 2");
+  LOCMM_CHECK_MSG(params.faults == nullptr ||
+                      params.engine == LocalEngine::kMessagePassing ||
+                      params.engine == LocalEngine::kStreaming,
+                  "fault injection needs a distributed engine (M / S)");
 
   const Pipeline pipeline = to_special_form(inst);
   const SpecialFormInstance sf(pipeline.special);
@@ -81,23 +122,31 @@ LocalSolution solve_local(const MaxMinInstance& inst,
     }
     case LocalEngine::kMessagePassing: {
       MessageRunResult run = solve_special_message_passing(
-          pipeline.special, params.R, params.t_search, params.threads);
+          pipeline.special, params.R, params.t_search, params.threads,
+          params.faults);
       sol.x_special = std::move(run.x);
       sol.net_stats = run.stats;
+      sol.degraded_special = std::move(run.degraded);
       sol.t_min_special = t_min_via_cone(sf, params);
       break;
     }
     case LocalEngine::kStreaming: {
       StreamingRunResult run = solve_special_streaming(
-          pipeline.special, params.R, params.t_search, params.threads);
+          pipeline.special, params.R, params.t_search, params.threads,
+          params.faults);
       sol.x_special = std::move(run.x);
       sol.net_stats = run.stats;
+      sol.degraded_special = std::move(run.degraded);
       sol.t_min_special = t_min_via_cone(sf, params);
       break;
     }
   }
 
   finish_solution(inst, pipeline, params.R, sol);
+  if (!sol.degraded_special.empty()) {
+    sol.degraded = degraded_to_original(pipeline, sol.x_special,
+                                        sol.degraded_special, sol.x);
+  }
   return sol;
 }
 
@@ -109,6 +158,10 @@ LocalResolver::LocalResolver(const MaxMinInstance& inst,
                              const LocalParams& params)
     : params_(params), inst_(inst), cache_(std::make_unique<ViewClassCache>()) {
   LOCMM_CHECK_MSG(params_.R >= 2, "R must be >= 2");
+  LOCMM_CHECK_MSG(params_.faults == nullptr ||
+                      params_.engine == LocalEngine::kMessagePassing ||
+                      params_.engine == LocalEngine::kStreaming,
+                  "fault injection needs a distributed engine (M / S)");
   pipeline_ = to_special_form(inst_);
   solve_from_pipeline();
 }
@@ -138,9 +191,15 @@ void LocalResolver::solve_from_pipeline() {
       opt.engine = DynamicEngine::kStreaming;
       break;
   }
+  // The scenario applies to the distributed COLD solve only; subsequent
+  // replays run over the repaired (bitwise fault-free) history.  When the
+  // cold run cannot fully recover, the IncrementalSolver degrades itself to
+  // the engine-L dirty-ball path and we surface that here.
+  opt.cold_faults = params_.faults;
   inc_ = std::make_unique<IncrementalSolver>(pipeline_.special, opt);
   sol_.x_special = inc_->x();
   sol_.net_stats = inc_->cold_net_stats();
+  sol_.degraded_to_local = inc_->degraded_to_local();
   finish_solution(inst_, pipeline_, params_.R, sol_);
 }
 

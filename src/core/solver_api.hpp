@@ -44,6 +44,13 @@ struct LocalParams {
   LocalEngine engine = LocalEngine::kCentralized;
   TSearchOptions t_search = {};
   std::size_t threads = 1;  // 0 = all hardware threads
+  // Optional seeded fault-injection scenario (dist/fault.hpp; not owned,
+  // must outlive the call).  Engines M / S only: the distributed run (or
+  // LocalResolver's distributed cold solve) executes under the scenario
+  // with checksum detection, bounded retransmission and per-agent
+  // degradation (LocalSolution::degraded).  The simulated engines C / L
+  // have no wire to fault: passing a plan with them CHECK-fails.
+  const FaultPlan* faults = nullptr;
 };
 
 struct LocalSolution {
@@ -67,6 +74,22 @@ struct LocalSolution {
   // delivered messages, modeled bytes, largest message.  All zero for the
   // simulated engines C / L, which never touch the network substrate.
   RunStats net_stats;
+
+  // Fault-tolerance diagnostics, populated only when LocalParams::faults
+  // injected a scenario into a distributed run (empty otherwise).
+  // degraded_special[i] == 1 marks a special-form agent inside an
+  // unrecoverable fault cone: its x_special entry is the engine-L fallback
+  // evaluation, not the in-network value.  degraded[v] == 1 marks the
+  // ORIGINAL agents whose mapped-back value reads at least one such
+  // special agent (through any §4 back-map, including the max() over
+  // split copies), i.e. the coordinates of x that are estimates rather
+  // than exact replays.  All-zero vectors mean the run fully recovered.
+  std::vector<std::uint8_t> degraded;
+  std::vector<std::uint8_t> degraded_special;
+  // LocalResolver only: a faulty distributed cold solve that could not be
+  // fully recovered dropped the recorded network and carried on over the
+  // engine-L dirty-ball path (see IncrementalSolver::degraded_to_local).
+  bool degraded_to_local = false;
 };
 
 LocalSolution solve_local(const MaxMinInstance& inst,

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "dist/fault.hpp"
+
 namespace locmm {
 
 // ===========================================================================
@@ -27,7 +29,12 @@ class ViewAssembler {
                     "assemble: need one subtree per port");
 
     // Subtree sizes per blob (reverse-preorder stack fold), so the BFS can
-    // jump between a node's consecutive preorder children.
+    // jump between a node's consecutive preorder children.  The fold's
+    // CHECKs below are internal invariants: a malformed blob arriving off
+    // the wire is caught at delivery time by wire_view_well_formed
+    // (dist/fault.hpp), which runs this same fold as a predicate -- by the
+    // time a blob reaches assemble it has either passed that boundary or
+    // was produced in-process.
     std::vector<std::vector<std::int32_t>> sizes(subtrees.size());
     std::vector<std::int32_t> stack;
     for (std::size_t q = 0; q < subtrees.size(); ++q) {
@@ -187,6 +194,12 @@ void ViewGatherCore::receive(std::int32_t round,
   LOCMM_CHECK(static_cast<std::int32_t>(inbox.size()) == in_.degree);
   for (std::int32_t q = 0; q < in_.degree; ++q) {
     const Message& m = inbox[static_cast<std::size_t>(q)];
+    // Internal invariant, not a fault boundary: corrupted or missing
+    // inbound messages are rejected (and retransmit-requested) at delivery
+    // time by the checksum / well-formedness guard of run_under_faults
+    // (dist/fault.hpp), and a node whose inbox stayed incomplete is frozen
+    // before its receive runs -- so a wrong kind here means a broken
+    // engine, never a network fault, and aborting is right.
     LOCMM_CHECK_MSG(m.kind == Message::Kind::kView,
                     "gather round " << round << ": expected a view on port "
                                     << q);
@@ -246,17 +259,30 @@ const ViewTree& GatherProgram::view() const {
 MessageRunResult solve_special_message_passing(const MaxMinInstance& special,
                                                std::int32_t R,
                                                const TSearchOptions& opt,
-                                               std::size_t threads) {
+                                               std::size_t threads,
+                                               const FaultPlan* faults) {
   LOCMM_CHECK(R >= 2);
   const CommGraph g(special);
   SyncNetwork net(g, threads);
   const std::int32_t D = view_radius(R);
+
+  MessageRunResult res;
+  if (faults != nullptr && faults->any_faults()) {
+    FaultTolerantResult ft = run_fault_tolerant(
+        net, *faults,
+        [&](NodeId) { return std::make_unique<GatherProgram>(D, R, opt); }, D,
+        R, opt);
+    res.x = std::move(ft.x);
+    res.stats = ft.stats;
+    res.degraded = std::move(ft.degraded);
+    return res;
+  }
+
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.reserve(static_cast<std::size_t>(g.num_nodes()));
   for (NodeId u = 0; u < g.num_nodes(); ++u)
     programs.push_back(std::make_unique<GatherProgram>(D, R, opt));
 
-  MessageRunResult res;
   res.stats = net.run(programs);
   res.x.resize(static_cast<std::size_t>(special.num_agents()));
   for (AgentId v = 0; v < special.num_agents(); ++v) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "dist/fault.hpp"
 #include "support/thread_pool.hpp"
 
 namespace locmm {
@@ -138,6 +139,245 @@ RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
   return stats;
 }
 
+RunStats SyncNetwork::run_under_faults(
+    std::vector<std::unique_ptr<NodeProgram>>& programs, const FaultPlan& plan,
+    std::int32_t schedule_rounds, FaultOutcome& out) {
+  const NodeId n = g_.num_nodes();
+  LOCMM_CHECK_MSG(static_cast<NodeId>(programs.size()) == n,
+                  "need one program per node: " << programs.size() << " vs "
+                                                << n);
+  LOCMM_CHECK_MSG(schedule_rounds >= 1,
+                  "run_under_faults needs a fixed schedule length (the "
+                  "engines' round counts); got " << schedule_rounds);
+  for (const CrashEvent& ev : plan.spec().crashes)
+    LOCMM_CHECK_MSG(ev.node >= 0 && ev.node < n,
+                    "crash schedule names node " << ev.node
+                        << " outside [0, " << n << ")");
+  const auto sn = static_cast<std::size_t>(n);
+
+  // Always record: the recovery replay re-executes against this history.
+  history_.assign(sn, {});
+  recorded_rounds_ = 0;
+  out.sent_through.assign(sn, FaultOutcome::kNeverFrozen);
+  out.lost.assign(sn, 0);
+  out.frozen.clear();
+
+  parallel_for(sn, threads_, [&](std::size_t u) {
+    programs[u]->init(local_input(static_cast<NodeId>(u)));
+  });
+
+  std::vector<std::vector<Message>> outbox(sn);
+  std::vector<std::vector<Message>> inbox(sn);
+  for (std::size_t u = 0; u < sn; ++u)
+    inbox[u].resize(
+        static_cast<std::size_t>(g_.degree(static_cast<NodeId>(u))));
+
+  // A delivery the wire refused (dropped, or rejected by the checksum /
+  // well-formedness guard): the sender's outbox still holds the message, so
+  // retransmission is just another delivery of the same slot.
+  struct Pending {
+    std::size_t from;
+    std::size_t port;
+    std::size_t to;
+    std::size_t to_port;
+  };
+  std::vector<Pending> pending, still_pending;
+  std::vector<std::int32_t> delivered(sn, 0);
+
+  RunStats stats;
+  for (std::int32_t round = 1; round <= schedule_rounds; ++round) {
+    stats.rounds = round;
+
+    // Crash onset: a node scheduled to crash this round dies before its
+    // send.  A never-restarting crash is unrecoverable: the node is lost,
+    // and everything its silence taints below inherits that.
+    for (const CrashEvent& ev : plan.spec().crashes) {
+      if (ev.round != round) continue;
+      const auto u = static_cast<std::size_t>(ev.node);
+      if (out.sent_through[u] != FaultOutcome::kNeverFrozen) continue;
+      out.sent_through[u] = round - 1;
+      if (ev.restart_round < 0) out.lost[u] = 1;
+      out.frozen.push_back(ev.node);
+    }
+
+    // Send phase: frozen nodes are silent, everyone else behaves as in
+    // run().  The FaultPlan is pure, so consulting it from workers later is
+    // order-independent.
+    parallel_for(sn, threads_, [&](std::size_t u) {
+      outbox[u].clear();
+      if (out.sent_through[u] < round) return;
+      if (programs[u]->halted()) return;
+      outbox[u] = programs[u]->send(round);
+      LOCMM_CHECK_MSG(
+          outbox[u].empty() ||
+              static_cast<std::int32_t>(outbox[u].size()) ==
+                  g_.degree(static_cast<NodeId>(u)),
+          "send() must return one message per port or nothing: got "
+              << outbox[u].size() << " for degree "
+              << g_.degree(static_cast<NodeId>(u)));
+    });
+
+    for (std::size_t u = 0; u < sn; ++u)
+      for (Message& m : inbox[u]) m.kind = Message::Kind::kNone;
+    std::fill(delivered.begin(), delivered.end(), 0);
+    pending.clear();
+
+    // Delivery, first attempt.  Accounting matches run(): messages / bytes
+    // count wire transmissions, so every retransmit below counts again.
+    for (std::size_t u = 0; u < sn; ++u) {
+      if (outbox[u].empty()) continue;
+      const auto neigh = g_.neighbors(static_cast<NodeId>(u));
+      for (std::size_t p = 0; p < outbox[u].size(); ++p) {
+        const Message& m = outbox[u][p];
+        if (m.kind == Message::Kind::kNone) continue;
+        const std::int64_t sz = m.byte_size();
+        ++stats.messages;
+        stats.bytes += sz;
+        stats.max_message_bytes = std::max(stats.max_message_bytes, sz);
+        const auto to = static_cast<std::size_t>(neigh[p].to);
+        const auto to_port = static_cast<std::size_t>(
+            back_ports_[static_cast<std::size_t>(
+                edge_offsets_[u] + static_cast<std::int64_t>(p))]);
+        const auto from_node = static_cast<NodeId>(u);
+        const auto port = static_cast<std::int32_t>(p);
+        if (plan.drops(round, from_node, port, 0)) {
+          ++stats.dropped_messages;
+          pending.push_back({u, p, to, to_port});
+          continue;
+        }
+        if (plan.corrupts(round, from_node, port, 0)) {
+          // The wire flips one payload bit; the delivery guard must catch
+          // it.  The checksum changes under any single-bit flip and
+          // message_well_formed rejects structural nonsense, so nothing
+          // corrupted ever reaches a NodeProgram (whose receive-path CHECKs
+          // stay what they are: internal invariants, not a fault boundary).
+          Message bad = m;
+          corrupt_message(bad, plan.corruption_bits(round, from_node, port));
+          LOCMM_CHECK_MSG(
+              message_checksum(bad) != message_checksum(m) ||
+                  !message_well_formed(bad),
+              "corrupted message evaded the delivery guard");
+          ++stats.corrupted_messages;
+          pending.push_back({u, p, to, to_port});
+          continue;
+        }
+        inbox[to][to_port] = m;
+        ++delivered[to];
+        if (plan.duplicates(round, from_node, port)) {
+          // The copy carries the same (round, port) watermark as the
+          // original and is discarded on arrival -- the port-indexed inbox
+          // is position-addressed, so nothing can double up.
+          ++stats.duplicated_messages;
+        }
+      }
+    }
+
+    // Reordering within the round: also absorbed by position addressing
+    // (slots are port-, not arrival-, indexed), but counted as observed.
+    for (std::size_t u = 0; u < sn; ++u)
+      if (delivered[u] >= 2 && plan.reorders(round, static_cast<NodeId>(u)))
+        stats.reordered_messages += delivered[u];
+
+    // Retransmit sub-rounds: only the failed edges re-send, up to
+    // max_retransmits extra attempts, each one an extra synchronous
+    // sub-round of the schedule (the timeout/backoff of a real transport,
+    // collapsed to its round-count cost).
+    for (std::int32_t attempt = 1;
+         !pending.empty() && attempt <= plan.spec().max_retransmits;
+         ++attempt) {
+      ++stats.recovery_rounds;
+      still_pending.clear();
+      for (const Pending& pe : pending) {
+        const Message& m = outbox[pe.from][pe.port];
+        const std::int64_t sz = m.byte_size();
+        ++stats.messages;
+        stats.bytes += sz;
+        ++stats.retransmitted_messages;
+        stats.retransmitted_bytes += sz;
+        const auto from_node = static_cast<NodeId>(pe.from);
+        const auto port = static_cast<std::int32_t>(pe.port);
+        if (plan.drops(round, from_node, port, attempt)) {
+          ++stats.dropped_messages;
+          still_pending.push_back(pe);
+          continue;
+        }
+        if (plan.corrupts(round, from_node, port, attempt)) {
+          ++stats.corrupted_messages;
+          still_pending.push_back(pe);
+          continue;
+        }
+        inbox[pe.to][pe.to_port] = m;
+        ++stats.recovered_messages;
+      }
+      pending.swap(still_pending);
+    }
+
+    // Budget exhausted: nothing inside the schedule can restore a message
+    // the wire refused max_retransmits + 1 times.  The receiver's round
+    // input is incomplete, so it freezes after its own (already clean)
+    // send of this round, and it is lost: recovery cannot re-derive what
+    // an unrecoverable channel never carried.
+    for (const Pending& pe : pending) {
+      ++stats.unrecovered_slots;
+      auto& st = out.sent_through[pe.to];
+      if (st == FaultOutcome::kNeverFrozen) {
+        st = round;
+        out.frozen.push_back(static_cast<NodeId>(pe.to));
+      }
+      out.lost[pe.to] = 1;
+    }
+
+    // Taint propagation, one step per round -- the speed-1 light cone of
+    // the synchronous model.  A neighbour of a node that went silent
+    // *before* this round is missing an inbound slot now: it freezes after
+    // its own send and inherits the silent node's lostness.  (Conservative:
+    // the silent node might have sent nothing on this edge anyway.)  Nodes
+    // appended here have sent_through == round, so the `< round` guard
+    // keeps them from propagating further until the next round.
+    for (std::size_t i = 0; i < out.frozen.size(); ++i) {
+      const NodeId u = out.frozen[i];
+      const auto su = static_cast<std::size_t>(u);
+      if (out.sent_through[su] >= round) continue;
+      for (const HalfEdge& e : g_.neighbors(u)) {
+        const auto w = static_cast<std::size_t>(e.to);
+        if (out.sent_through[w] == FaultOutcome::kNeverFrozen) {
+          out.sent_through[w] = round;
+          out.frozen.push_back(e.to);
+        }
+        if (out.sent_through[w] >= round)
+          out.lost[w] = static_cast<std::uint8_t>(out.lost[w] | out.lost[su]);
+      }
+    }
+
+    // History rows hold what each node truly sent (the faults above only
+    // touched delivered copies), exactly like run(..., record=true) -- the
+    // recovery replay depends on clean nodes' rows being pristine.
+    for (std::size_t u = 0; u < sn; ++u)
+      history_[u].push_back(std::move(outbox[u]));
+
+    // Receive phase: only never-frozen nodes consume.  Every one of them
+    // has a complete, validated inbox -- anything less froze it above --
+    // so executed programs march through bitwise fault-free state.
+    parallel_for(sn, threads_, [&](std::size_t u) {
+      if (out.sent_through[u] != FaultOutcome::kNeverFrozen) return;
+      if (programs[u]->halted()) return;
+      programs[u]->receive(round, std::span<const Message>(inbox[u]));
+    });
+  }
+
+  recorded_rounds_ = schedule_rounds;
+  stats.fresh_messages = stats.messages;
+  stats.fresh_bytes = stats.bytes;
+  for (std::size_t u = 0; u < sn; ++u) {
+    if (out.sent_through[u] != FaultOutcome::kNeverFrozen) continue;
+    LOCMM_CHECK_MSG(programs[u]->halted(),
+                    "run_under_faults: node "
+                        << u << " did not halt within the "
+                        << schedule_rounds << "-round schedule");
+  }
+  return stats;
+}
+
 void SyncNetwork::assemble_inbox(NodeId u, std::int32_t round,
                                  const std::vector<std::int32_t>& activation,
                                  std::vector<Message>& inbox,
@@ -208,38 +448,50 @@ SyncNetwork::ReplayResult SyncNetwork::replay(
           static_cast<NodeId>(u));
   }
 
-  std::vector<std::int32_t> slot(sn, -1);
-  std::vector<Message> inbox;
+  // Per-executed-node scratch: an inbox buffer, and a RunStats accumulator
+  // each parallel phase below writes alone.  The serial reduction at the
+  // end folds the accumulators in executed order, so every count (and the
+  // max) is bitwise independent of the thread count.
+  std::vector<std::vector<Message>> inboxes;
+  std::vector<RunStats> acc;
+
   for (std::int32_t round = 1; round <= T; ++round) {
     // Activate: instantiate, init, and fast-forward through the cached
-    // inbox history.  Fresh messages of earlier rounds already overwrote
-    // their history rows, so the cache is always current here.
-    for (const NodeId u : activates_at[static_cast<std::size_t>(round)]) {
-      slot[static_cast<std::size_t>(u)] =
-          static_cast<std::int32_t>(res.executed.size());
-      res.executed.push_back(u);
-      res.programs.push_back(make(u));
-      NodeProgram& prog = *res.programs.back();
+    // inbox history, one worker per activated node.  Fresh messages of
+    // earlier rounds already overwrote their history rows, so the cache is
+    // always current here; fast-forwards only read rows of rounds < this
+    // one, which no concurrent worker writes.
+    const std::vector<NodeId>& act =
+        activates_at[static_cast<std::size_t>(round)];
+    const std::size_t base = res.executed.size();
+    res.executed.insert(res.executed.end(), act.begin(), act.end());
+    res.programs.resize(base + act.size());
+    inboxes.resize(base + act.size());
+    acc.resize(base + act.size());
+    parallel_for(act.size(), threads_, [&](std::size_t i) {
+      const NodeId u = act[i];
+      res.programs[base + i] = make(u);
+      NodeProgram& prog = *res.programs[base + i];
       prog.init(local_input(u));
       for (std::int32_t j = 1; j < round && !prog.halted(); ++j) {
-        assemble_inbox(u, j, activation, inbox, res.stats);
-        prog.receive(j, std::span<const Message>(inbox));
+        assemble_inbox(u, j, activation, inboxes[base + i], acc[base + i]);
+        prog.receive(j, std::span<const Message>(inboxes[base + i]));
       }
-    }
+    });
 
     // Send phase: every executed node's history row for this round is
     // overwritten with what it sends NOW -- possibly nothing (halted or
     // silent), which clears any stale cached row so clean-cone readers and
     // later activations can never observe a pre-edit message from a
-    // re-executed node.
-    for (std::size_t i = 0; i < res.executed.size(); ++i) {
+    // re-executed node.  Rows are per-node: workers share no write target.
+    parallel_for(res.executed.size(), threads_, [&](std::size_t i) {
       const NodeId u = res.executed[i];
       NodeProgram& prog = *res.programs[i];
       std::vector<Message>& row = history_[static_cast<std::size_t>(
           u)][static_cast<std::size_t>(round) - 1];
       if (prog.halted()) {
         row.clear();
-        continue;
+        return;
       }
       std::vector<Message> out = prog.send(round);
       LOCMM_CHECK_MSG(out.empty() || static_cast<std::int32_t>(out.size()) ==
@@ -249,23 +501,23 @@ SyncNetwork::ReplayResult SyncNetwork::replay(
       for (const Message& m : out) {
         if (m.kind == Message::Kind::kNone) continue;
         const std::int64_t sz = m.byte_size();
-        ++res.stats.fresh_messages;
-        res.stats.fresh_bytes += sz;
-        res.stats.max_message_bytes =
-            std::max(res.stats.max_message_bytes, sz);
+        ++acc[i].fresh_messages;
+        acc[i].fresh_bytes += sz;
+        acc[i].max_message_bytes = std::max(acc[i].max_message_bytes, sz);
       }
       row = std::move(out);
-    }
+    });
 
     // Receive phase: only executing nodes consume anything; their inboxes
-    // splice fresh rows (just written) with cached rows of clean senders.
-    for (std::size_t i = 0; i < res.executed.size(); ++i) {
+    // splice fresh rows (all written behind the barrier above) with cached
+    // rows of clean senders.
+    parallel_for(res.executed.size(), threads_, [&](std::size_t i) {
       const NodeId u = res.executed[i];
       NodeProgram& prog = *res.programs[i];
-      if (prog.halted()) continue;
-      assemble_inbox(u, round, activation, inbox, res.stats);
-      prog.receive(round, std::span<const Message>(inbox));
-    }
+      if (prog.halted()) return;
+      assemble_inbox(u, round, activation, inboxes[i], acc[i]);
+      prog.receive(round, std::span<const Message>(inboxes[i]));
+    });
   }
 
   for (std::size_t i = 0; i < res.programs.size(); ++i) {
@@ -273,6 +525,15 @@ SyncNetwork::ReplayResult SyncNetwork::replay(
                     "replay: node " << res.executed[i]
                                     << " did not halt within the recorded "
                                     << T << " rounds");
+  }
+  // Deterministic reduction, in executed (activation) order.
+  for (const RunStats& a : acc) {
+    res.stats.fresh_messages += a.fresh_messages;
+    res.stats.fresh_bytes += a.fresh_bytes;
+    res.stats.replayed_messages += a.replayed_messages;
+    res.stats.replayed_bytes += a.replayed_bytes;
+    res.stats.max_message_bytes =
+        std::max(res.stats.max_message_bytes, a.max_message_bytes);
   }
   res.stats.messages =
       res.stats.fresh_messages + res.stats.replayed_messages;

@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -151,6 +152,16 @@ class AgentNodeProgram : public NodeProgram {
 // consumes of its surroundings.  messages == fresh_messages +
 // replayed_messages and bytes == fresh_bytes + replayed_bytes, always;
 // max_message_bytes tracks fresh (wire) messages only.
+//
+// The fault block (all zero outside run_under_faults, see dist/fault.hpp)
+// counts what the injection layer did and what recovery cost.  messages /
+// bytes count every wire transmission, retransmits included, so
+// retransmitted_* is the recovery overhead *within* them; dropped /
+// corrupted count per failed attempt (a slot dropped three times counts
+// three); recovered_messages counts slots eventually delivered by a
+// retransmit, unrecovered_slots the ones abandoned to the degradation path
+// after max_retransmits; recovery_rounds is the number of extra retransmit
+// sub-rounds the schedule paid.
 struct RunStats {
   std::int32_t rounds = 0;
   std::int64_t messages = 0;
@@ -160,6 +171,43 @@ struct RunStats {
   std::int64_t replayed_messages = 0;
   std::int64_t fresh_bytes = 0;
   std::int64_t replayed_bytes = 0;
+  // Fault injection and recovery (dist/fault.hpp).
+  std::int64_t dropped_messages = 0;
+  std::int64_t corrupted_messages = 0;
+  std::int64_t duplicated_messages = 0;
+  std::int64_t reordered_messages = 0;
+  std::int64_t retransmitted_messages = 0;
+  std::int64_t retransmitted_bytes = 0;
+  std::int64_t recovered_messages = 0;
+  std::int64_t unrecovered_slots = 0;
+  std::int32_t recovery_rounds = 0;
+};
+
+class FaultPlan;  // dist/fault.hpp
+
+// What a run_under_faults left behind, beyond the stats: which nodes froze
+// (stopped participating) and which of them sit in an *unrecoverable* cone.
+// A node freezes when it crashes, when one of its inbound slots exhausts
+// the retransmit budget, or -- transitively, at speed 1 -- when a
+// neighbour's silence makes its own round input incomplete: the synchronous
+// model gives faults exactly this light cone, and freezing the whole cone
+// is what keeps every *executed* program's history bitwise fault-free.
+struct FaultOutcome {
+  static constexpr std::int32_t kNeverFrozen =
+      std::numeric_limits<std::int32_t>::max();
+  // Per node: the last round whose send phase this node executed
+  // (kNeverFrozen = ran the whole schedule).  A node frozen at round k sent
+  // through round k and went silent from k+1 on.
+  std::vector<std::int32_t> sent_through;
+  // Per node: 1 when the freeze traces back to an unrecoverable event (a
+  // never-restarting crash or an exhausted retransmit budget); agents in
+  // this set are the ones recovery cannot restore and must degrade.
+  std::vector<std::uint8_t> lost;
+  // Every frozen node, in freeze order: the dirty seeds of the recovery
+  // replay.  Empty == the run was clean end to end.
+  std::vector<NodeId> frozen;
+
+  bool clean() const { return frozen.empty(); }
 };
 
 // The synchronous scheduler.  Owns no node state: programs are supplied per
@@ -186,12 +234,30 @@ class SyncNetwork {
   RunStats run(std::vector<std::unique_ptr<NodeProgram>>& programs,
                std::int32_t max_rounds = 1 << 20, bool record = false);
 
+  // Runs exactly `schedule_rounds` rounds with `plan` consulted at delivery
+  // time (dist/fault.hpp: drops, corruption, duplicates, reordering,
+  // crashes), retransmitting lost/rejected messages in bounded sub-rounds.
+  // Always records.  A fixed schedule length replaces the all-halted exit:
+  // the engines' programs halt at a known round, and a frozen region must
+  // not shorten the recorded history the recovery replay re-executes
+  // against.  On return, `out` says which nodes froze and which are
+  // unrecoverable; every *executed* program received a complete, fault-free
+  // inbox in every round (anything less froze it first), so its state and
+  // its history rows are bitwise what a fault-free run would have produced.
+  // Callers normally want run_fault_tolerant (dist/fault.hpp), which chains
+  // the recovery replay and the degradation fallback on top.
+  RunStats run_under_faults(std::vector<std::unique_ptr<NodeProgram>>& programs,
+                            const FaultPlan& plan,
+                            std::int32_t schedule_rounds, FaultOutcome& out);
+
   // Whether a recorded history is available, and how many rounds it spans.
   bool has_history() const { return recorded_rounds_ > 0; }
   std::int32_t recorded_rounds() const { return recorded_rounds_; }
 
   // Makes one NodeProgram for the given node (replay instantiates programs
-  // lazily: only activated nodes ever get one).
+  // lazily: only activated nodes ever get one).  Replay calls it from
+  // parallel workers, so the factory must be safe to invoke concurrently
+  // (the engine factories are: they only read configuration).
   using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
 
   struct ReplayResult {
@@ -226,8 +292,13 @@ class SyncNetwork {
   // min(post-edit distance, pre_dist).
   //
   // After a structural edit rebuilt the CommGraph (node counts are stable
-  // under membership edits), call refresh_topology() first.  Replay is
-  // serial: its work is ball-sized by construction.
+  // under membership edits), call refresh_topology() first.  Replay
+  // parallelises like run() -- activation fast-forwards, sends and receives
+  // ride parallel_for over the executed set, with per-node stats
+  // accumulators reduced deterministically -- so ball-sized work still
+  // shrinks with the ball, and a crash-recovery replay of a large cone
+  // (dist/fault.hpp) does not serialize.  Output and stats are bitwise
+  // independent of the thread count.
   ReplayResult replay(std::span<const NodeId> dirty_seeds,
                       const ProgramFactory& make,
                       std::span<const std::int32_t> pre_dist = {});

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/view_solver.hpp"
+#include "dist/fault.hpp"
 #include "dist/gather.hpp"
 
 namespace locmm {
@@ -139,6 +140,12 @@ class StreamingProgram final : public AgentNodeProgram {
     }
 
     const Step st = classify(round);
+    // The scalar-kind CHECKs below are internal invariants, not a fault
+    // boundary: run_under_faults (dist/fault.hpp) validates every delivery
+    // against its checksum and message_well_formed, retransmits rejected
+    // messages, and freezes a node before its receive whenever an inbound
+    // slot stayed unserved -- so a wrong kind here means a broken engine
+    // schedule, never a network fault, and aborting is right.
     if (st.agents_send) {
       // The relay side banks the agents' scalars for next round's reply.
       if (in_.type != NodeType::kAgent && relevant_relay(st)) {
@@ -264,16 +271,29 @@ std::unique_ptr<AgentNodeProgram> make_streaming_program(
 StreamingRunResult solve_special_streaming(const MaxMinInstance& special,
                                            std::int32_t R,
                                            const TSearchOptions& opt,
-                                           std::size_t threads) {
+                                           std::size_t threads,
+                                           const FaultPlan* faults) {
   LOCMM_CHECK(R >= 2);
   const CommGraph g(special);
   SyncNetwork net(g, threads);
+
+  StreamingRunResult res;
+  if (faults != nullptr && faults->any_faults()) {
+    FaultTolerantResult ft = run_fault_tolerant(
+        net, *faults,
+        [&](NodeId) { return std::make_unique<StreamingProgram>(R - 2, opt); },
+        streaming_rounds(R), R, opt);
+    res.x = std::move(ft.x);
+    res.stats = ft.stats;
+    res.degraded = std::move(ft.degraded);
+    return res;
+  }
+
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.reserve(static_cast<std::size_t>(g.num_nodes()));
   for (NodeId u = 0; u < g.num_nodes(); ++u)
     programs.push_back(std::make_unique<StreamingProgram>(R - 2, opt));
 
-  StreamingRunResult res;
   res.stats = net.run(programs);
   res.x.resize(static_cast<std::size_t>(special.num_agents()));
   for (AgentId v = 0; v < special.num_agents(); ++v) {

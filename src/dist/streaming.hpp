@@ -59,14 +59,23 @@ std::unique_ptr<AgentNodeProgram> make_streaming_program(
 struct StreamingRunResult {
   std::vector<double> x;  // per-agent outputs, == engine C's (tested)
   RunStats stats;         // rounds = streaming_rounds(R), independent of n
+  // Per-agent degradation flags from a faulty run (dist/fault.hpp): empty
+  // without fault injection; under faults, 1 marks agents whose value fell
+  // back to the local engine-L evaluation because their dependency cone was
+  // unrecoverable.  Un-flagged agents are bitwise fault-free.
+  std::vector<std::uint8_t> degraded;
 };
 
 // Runs engine S on a special-form instance.  threads: 1 = serial (default),
 // 0 = all hardware threads; the output is bitwise independent of the thread
-// count.
+// count.  `faults` (optional, not owned) injects the given seeded fault
+// scenario and runs detection / retransmission / degradation on top
+// (dist/fault.hpp): with full recovery the outputs are bitwise identical to
+// the fault-free run.
 StreamingRunResult solve_special_streaming(const MaxMinInstance& special,
                                            std::int32_t R,
                                            const TSearchOptions& opt = {},
-                                           std::size_t threads = 1);
+                                           std::size_t threads = 1,
+                                           const FaultPlan* faults = nullptr);
 
 }  // namespace locmm

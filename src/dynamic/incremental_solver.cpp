@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "dist/fault.hpp"
 #include "dist/gather.hpp"
 #include "dist/streaming.hpp"
 #include "support/hash.hpp"
@@ -17,6 +18,9 @@ IncrementalSolver::IncrementalSolver(const MaxMinInstance& special,
                                      const Options& opt)
     : opt_(opt), sf_(special), g_(sf_.instance()) {
   LOCMM_CHECK_MSG(opt_.R >= 2, "R must be >= 2");
+  LOCMM_CHECK_MSG(opt_.cold_faults == nullptr ||
+                      opt_.engine != DynamicEngine::kMemoizedDp,
+                  "cold_faults needs a distributed engine (M / S)");
   D_ = view_radius(opt_.R);
   if (opt_.cache != nullptr) {
     cache_ = opt_.cache;
@@ -50,6 +54,34 @@ IncrementalSolver::IncrementalSolver(const MaxMinInstance& special,
     // replays splice the clean cone from it -- so no colours and no class
     // cache are maintained on this path.
     net_ = std::make_unique<SyncNetwork>(g_, opt_.threads);
+    if (opt_.cold_faults != nullptr && opt_.cold_faults->any_faults() &&
+        g_.num_nodes() > 0) {
+      // Faulty cold solve: run under the scenario, repair the history by
+      // replaying the frozen region fault-free.  A full recovery leaves
+      // net_'s history bitwise equal to a fault-free recording, so every
+      // subsequent apply() replays off it unchanged.
+      const std::int32_t rounds = opt_.engine == DynamicEngine::kMessagePassing
+                                      ? D_
+                                      : streaming_rounds(opt_.R);
+      FaultTolerantResult ft = run_fault_tolerant(
+          *net_, *opt_.cold_faults,
+          [this](NodeId u) { return make_program(u); }, rounds, opt_.R,
+          opt_.t_search);
+      cold_net_ = ft.stats;
+      if (!ft.fully_recovered) {
+        // Graceful degradation: the repaired history is NOT trustworthy as
+        // replay state (degraded agents carry fallback values), so drop the
+        // network and restart cold on the engine-L dirty-ball path, which
+        // every later apply() then uses.  Slower per update, but exact.
+        net_.reset();
+        opt_.engine = DynamicEngine::kMemoizedDp;
+        degraded_to_local_ = true;
+        cold_solve_memoized();
+        return;
+      }
+      x_ = std::move(ft.x);
+      return;
+    }
     std::vector<std::unique_ptr<NodeProgram>> programs;
     programs.reserve(static_cast<std::size_t>(g_.num_nodes()));
     for (NodeId u = 0; u < g_.num_nodes(); ++u)
@@ -62,6 +94,12 @@ IncrementalSolver::IncrementalSolver(const MaxMinInstance& special,
     }
     return;
   }
+  if (n == 0) return;
+  cold_solve_memoized();
+}
+
+void IncrementalSolver::cold_solve_memoized() {
+  const auto n = static_cast<std::size_t>(g_.num_agents());
   if (n == 0) return;
 
   // Cold solve: the refine / evaluate-representatives / broadcast pipeline

@@ -100,6 +100,16 @@ class IncrementalSolver {
     // cold run's traffic) -- that history IS the state replay serves the
     // clean cone from.
     DynamicEngine engine = DynamicEngine::kMemoizedDp;
+    // Optional seeded fault scenario for the distributed COLD solve
+    // (dist/fault.hpp; not owned, must outlive construction; distributed
+    // engines only -- CHECK-fails with kMemoizedDp).  When the run fully
+    // recovers, the repaired history is bitwise the fault-free recording,
+    // so every subsequent apply() replays exactly as if no fault happened.
+    // When it cannot (retransmit budget exhausted), the solver degrades
+    // gracefully: it drops the network, re-solves cold through the
+    // engine-L dirty-ball path, and carries ALL subsequent updates there
+    // (degraded_to_local() reports this).
+    const FaultPlan* cold_faults = nullptr;
   };
 
   // Solves `special` cold -- through the refine / evaluate-representatives
@@ -125,8 +135,15 @@ class IncrementalSolver {
   ViewClassCache& cache() { return *cache_; }
 
   // Scheduler accounting of the cold solve (engines M / S; all zero for
-  // kMemoizedDp, which never touches the network substrate).
+  // kMemoizedDp, which never touches the network substrate).  With
+  // Options::cold_faults set, this carries the faulty run's full fault
+  // block (drops, retransmissions, recovery rounds, replayed repairs).
   const RunStats& cold_net_stats() const { return cold_net_; }
+
+  // Whether an unrecoverable Options::cold_faults scenario forced the
+  // fallback from the requested distributed engine to the engine-L
+  // dirty-ball path (engine() reports kMemoizedDp from then on).
+  bool degraded_to_local() const { return degraded_to_local_; }
 
   // Per-update accounting (also mirrored into Options::t_search.stats when
   // set, under the TSearchStats names).
@@ -166,6 +183,12 @@ class IncrementalSolver {
   // One NodeProgram of the selected distributed engine for `node`.
   std::unique_ptr<NodeProgram> make_program(NodeId node) const;
 
+  // The engine-L cold solve (refine / evaluate-representatives / broadcast),
+  // leaving the colours and the populated cache behind as update state.
+  // Runs at construction for kMemoizedDp, and again as the degradation
+  // target when a faulty distributed cold solve cannot fully recover.
+  void cold_solve_memoized();
+
   // The engine-L update path (WL recolouring + class evaluation) and the
   // distributed one (SyncNetwork replay); apply() dispatches on the engine.
   void apply_memoized(const std::vector<NodeId>& seeds,
@@ -185,6 +208,7 @@ class IncrementalSolver {
   // the replays splice the clean cone from); null for kMemoizedDp.
   std::unique_ptr<SyncNetwork> net_;
   RunStats cold_net_;
+  bool degraded_to_local_ = false;
   std::vector<double> x_;
   // Per-agent full-depth WL colours (the class fingerprints of the last
   // solve state; dirty agents are re-coloured on every update).

@@ -38,6 +38,16 @@ inline std::uint64_t coeff_bits_exact(double c) {
   return std::bit_cast<std::uint64_t>(c);
 }
 
+// Raw bit pattern of a double, -0.0 kept distinct from +0.0.  This is the
+// fold for *wire checksums* (dist/fault.hpp: message_checksum), where the
+// sign of zero is a payload bit like any other and a single-bit corruption
+// must always change the digest -- the opposite contract from
+// coeff_bits_exact, whose callers want arithmetically equal coefficients to
+// hash equal.
+inline std::uint64_t payload_bits(double c) {
+  return std::bit_cast<std::uint64_t>(c);
+}
+
 // Quantized bit pattern: the low 12 mantissa bits are truncated, grouping
 // coefficients equal up to ~2^-40 relative under one hash.  Only safe where
 // an exact arbiter runs on hash equality: ViewTree::canonical_hash buckets
