@@ -1,0 +1,372 @@
+// Serve -- multi-tenant churn through SolverService.
+//
+// The serving layer (src/serve) turns the §1.3 dynamic-update observation
+// into an operational claim: one process can hold many mutating instances
+// and absorb a sustained edit stream, because each admitted batch re-solves
+// a radius-D(R) ball, not the tenant's whole instance.  This bench measures
+// that claim end to end: T tenant threads each drive a churn workload of
+// coefficient-edit batches (submit + drain per batch, i.e. admission, the
+// projected-instance dry run, and the transactional ball re-solve), and the
+// JSON records sustained committed edits/sec plus p50/p99 per-batch
+// latency.
+//
+// Every row doubles as a correctness probe: after the storm each tenant's
+// committed solution is compared BIT-for-bit against a scratch
+// IncrementalSolver fed exactly the accepted batches (the bench aborts on
+// mismatch).
+//
+// The chaos rows re-run the same workload with hostile traffic mixed in --
+// one third malformed batches (every rejection shape the admission dry run
+// knows) plus a per-batch deadline budget tight enough to abandon a
+// fraction of the drains transactionally, repaired by idle cycles.  The
+// delta between a clean row and its chaos twin is the price of serving
+// hostile tenants: admission overhead, abandoned-and-repaired re-solves,
+// and the shed/reject bookkeeping, with the same bitwise oracle at the end.
+//
+// Usage: bench_serve [BENCH_serve.json] [--smoke]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynamic/incremental_solver.hpp"
+#include "gen/generators.hpp"
+#include "lp/delta.hpp"
+#include "serve/solver_service.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+#include "bench_util.hpp"
+
+using namespace locmm;
+
+namespace {
+
+struct RunResult {
+  std::string generator;
+  std::int32_t tenants = 0;
+  bool chaos = false;
+  std::int64_t agents_per_tenant = 0;
+  std::int64_t batches = 0;         // committed batches across all tenants
+  double wall_s = 0.0;
+  double edits_per_s = 0.0;         // committed edits / wall
+  double p50_ms = 0.0;              // per-batch submit+drain latency
+  double p99_ms = 0.0;
+  std::int64_t rejected_malformed = 0;
+  std::int64_t deadline_aborts = 0;
+  std::int64_t repaired = 0;        // batches committed by repair_idle
+  bool identical = true;            // committed x vs scratch oracle, bitwise
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// One valid coefficient-only churn batch against the tenant's current
+// special form (1-3 edits on random incident constraints).
+InstanceDelta churn_batch(const SpecialFormInstance& sf, Rng& rng) {
+  InstanceDelta delta;
+  const int edits = 1 + static_cast<int>(rng.below(3));
+  for (int e = 0; e < edits; ++e) {
+    const auto v = static_cast<AgentId>(
+        rng.below(static_cast<std::uint64_t>(sf.num_agents())));
+    const auto arcs = sf.arcs(v);
+    const ConstraintArc arc = arcs[rng.below(arcs.size())];
+    delta.set_constraint_coeff(arc.id, v, rng.uniform(0.5, 2.0));
+  }
+  return delta;
+}
+
+// Hostile traffic: one malformed batch per call, cycling the rejection
+// shapes the admission dry run reports.
+InstanceDelta malformed_batch(const MaxMinInstance& inst, std::uint64_t n) {
+  InstanceDelta delta;
+  switch (n % 5) {
+    case 0:
+      delta.set_constraint_coeff(inst.num_constraints() + 7, 0, 1.0);
+      break;
+    case 1:
+      delta.set_constraint_coeff(0, inst.num_agents() + 3, 1.0);
+      break;
+    case 2:
+      delta.set_constraint_coeff(0, inst.constraint_row(0)[0].agent, -1.0);
+      break;
+    case 3:
+      delta.set_constraint_coeff(0, inst.constraint_row(0)[0].agent,
+                                 std::numeric_limits<double>::quiet_NaN());
+      break;
+    default:
+      delta.add_to_constraint(0, inst.constraint_row(0)[0].agent, 1.0);
+      break;
+  }
+  return delta;
+}
+
+RunResult run_workload(const std::string& name,
+                       const MaxMinInstance& base_instance,
+                       std::int32_t tenants, std::int32_t batches_per_tenant,
+                       bool chaos, std::uint64_t seed) {
+  RunResult res;
+  res.generator = name;
+  res.tenants = tenants;
+  res.chaos = chaos;
+  res.agents_per_tenant = base_instance.num_agents();
+
+  SolverService svc;
+  for (std::int32_t t = 0; t < tenants; ++t) {
+    TenantOptions opt;
+    opt.limits.max_queued_batches = 16;
+    if (chaos) {
+      // Tight enough that a visible fraction of budgeted drains abandon
+      // transactionally (ball re-solves on these families take tens to
+      // hundreds of us), loose enough that progress still happens.
+      opt.limits.apply_budget_us = 50.0;
+    }
+    const ServeStatus s =
+        svc.create_tenant("t" + std::to_string(t), base_instance, opt);
+    LOCMM_CHECK_MSG(s.ok(), "create_tenant failed: " << s.message);
+  }
+
+  std::vector<std::vector<InstanceDelta>> accepted(
+      static_cast<std::size_t>(tenants));
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(tenants));
+  std::vector<std::int64_t> edits_committed(
+      static_cast<std::size_t>(tenants), 0);
+
+  Timer wall;
+  std::vector<std::thread> workers;
+  for (std::int32_t t = 0; t < tenants; ++t) {
+    workers.emplace_back([&, t, seed] {
+      const std::string tenant = "t" + std::to_string(t);
+      Rng rng(seed + 101 * static_cast<std::uint64_t>(t));
+      // Tenant-local mirror of the committed+queued instance, kept in sync
+      // with exactly the accepted batches, so churn stays valid.
+      SpecialFormInstance mirror(base_instance);
+      for (std::int32_t b = 0; b < batches_per_tenant; ++b) {
+        if (chaos && rng.below(3) == 0) {
+          const ServeStatus s = svc.submit(
+              tenant, malformed_batch(mirror.instance(), rng.below(100)));
+          LOCMM_CHECK_MSG(s.code == ServeCode::kMalformedDelta,
+                          "malformed batch not rejected: " << s.message);
+        }
+        const InstanceDelta d = churn_batch(mirror, rng);
+        Timer batch_timer;
+        const ServeStatus sub = svc.submit(tenant, d);
+        if (!sub.ok()) {
+          LOCMM_CHECK_MSG(sub.code == ServeCode::kQueueFull,
+                          "unexpected submit failure: " << sub.message);
+          // Shed under backpressure; relieve it and move on.
+          const ServeStatus relief = svc.drain(tenant);
+          LOCMM_CHECK_MSG(
+              relief.ok() || relief.code == ServeCode::kDeadlineExceeded,
+              "drain failed: " << relief.message);
+          continue;
+        }
+        mirror.apply(d);
+        accepted[static_cast<std::size_t>(t)].push_back(d);
+        edits_committed[static_cast<std::size_t>(t)] +=
+            static_cast<std::int64_t>(d.size());
+        const ServeStatus dr = svc.drain(tenant);
+        LOCMM_CHECK_MSG(dr.ok() || dr.code == ServeCode::kDeadlineExceeded,
+                        "drain failed: " << dr.message);
+        latencies[static_cast<std::size_t>(t)].push_back(batch_timer.millis());
+        if (chaos && b % 8 == 7) svc.repair_idle();  // idle cycle
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  res.repaired = svc.repair_idle();  // final repair: queues must empty
+  res.wall_s = wall.seconds();
+
+  std::vector<double> all_latencies;
+  std::int64_t total_edits = 0;
+  for (std::int32_t t = 0; t < tenants; ++t) {
+    all_latencies.insert(all_latencies.end(),
+                         latencies[static_cast<std::size_t>(t)].begin(),
+                         latencies[static_cast<std::size_t>(t)].end());
+    total_edits += edits_committed[static_cast<std::size_t>(t)];
+    res.batches +=
+        static_cast<std::int64_t>(accepted[static_cast<std::size_t>(t)].size());
+  }
+  res.edits_per_s = static_cast<double>(total_edits) / res.wall_s;
+  res.p50_ms = percentile(all_latencies, 0.50);
+  res.p99_ms = percentile(all_latencies, 0.99);
+
+  // Correctness: every tenant's committed solution must be bit-identical
+  // to a scratch solver fed exactly the accepted batches.
+  for (std::int32_t t = 0; t < tenants; ++t) {
+    const std::string tenant = "t" + std::to_string(t);
+    TenantStats st;
+    LOCMM_CHECK(svc.stats(tenant, &st).ok());
+    LOCMM_CHECK_MSG(st.queued_batches == 0,
+                    "repair left " << st.queued_batches << " queued batches");
+    LOCMM_CHECK_MSG(st.internal_errors == 0,
+                    st.internal_errors << " internal errors escaped");
+    res.rejected_malformed += st.rejected_malformed;
+    res.deadline_aborts += st.deadline_aborts;
+
+    IncrementalSolver oracle(base_instance);
+    for (const InstanceDelta& d : accepted[static_cast<std::size_t>(t)]) {
+      oracle.apply(d);
+    }
+    for (AgentId v = 0; v < base_instance.num_agents(); ++v) {
+      QueryResult q;
+      LOCMM_CHECK(svc.query_x(tenant, v, &q).ok());
+      LOCMM_CHECK_MSG(!q.stale, "stale after final repair");
+      if (std::memcmp(&q.value, &oracle.x()[static_cast<std::size_t>(v)],
+                      sizeof(double)) != 0) {
+        res.identical = false;
+        std::fprintf(stderr, "MISMATCH %s tenant=%d agent=%d: %.17g vs %.17g\n",
+                     name.c_str(), t, v, q.value,
+                     oracle.x()[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  LOCMM_CHECK_MSG(res.identical, "served state diverged from the scratch "
+                                 "oracle on " << name << " with " << tenants
+                                              << " tenants");
+  return res;
+}
+
+std::string json_row(const RunResult& r) {
+  std::string s = "    {";
+  s += "\"generator\": \"" + r.generator + "\"";
+  s += ", \"tenants\": " + std::to_string(r.tenants);
+  s += ", \"chaos\": ";
+  s += r.chaos ? "true" : "false";
+  s += ", \"agents_per_tenant\": " + std::to_string(r.agents_per_tenant);
+  s += ", \"batches\": " + std::to_string(r.batches);
+  s += ", \"wall_s\": " + std::to_string(r.wall_s);
+  s += ", \"edits_per_s\": " + std::to_string(r.edits_per_s);
+  s += ", \"p50_ms\": " + std::to_string(r.p50_ms);
+  s += ", \"p99_ms\": " + std::to_string(r.p99_ms);
+  s += ", \"rejected_malformed\": " + std::to_string(r.rejected_malformed);
+  s += ", \"deadline_aborts\": " + std::to_string(r.deadline_aborts);
+  s += ", \"repaired\": " + std::to_string(r.repaired);
+  s += ", \"bit_identical\": ";
+  s += r.identical ? "true" : "false";
+  s += "}";
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  bool json_path_set = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: bench_serve [out.json] [--smoke]\n"
+                   "unknown option: %s\n",
+                   argv[i]);
+      return 2;
+    } else if (json_path_set) {
+      std::fprintf(stderr,
+                   "usage: bench_serve [out.json] [--smoke]\n"
+                   "unexpected second output path: %s (already have %s)\n",
+                   argv[i], json_path.c_str());
+      return 2;
+    } else {
+      json_path = argv[i];
+      json_path_set = true;
+    }
+  }
+
+  // Full sizes are chosen for a single-core box: per-batch drain cost is
+  // ball-local (size-independent), so what scales with the instance is the
+  // per-tenant cold solve and the final bitwise oracle replay -- both paid
+  // tenants x (1 + 1) times per run.
+  const std::int32_t wheel_layers = smoke ? 60 : 300;  // 2 agents per layer
+  const std::int32_t grid_cols = smoke ? 24 : 100;     // 4 rows
+  const std::int32_t batches = smoke ? 8 : 24;         // per tenant
+
+  const MaxMinInstance wheel = layered_instance(
+      {.delta_k = 2, .layers = wheel_layers, .width = 1, .twist = 0});
+  const MaxMinInstance grid =
+      special_grid_instance({.rows = 4, .cols = grid_cols}, 1);
+
+  struct Workload {
+    const char* name;
+    const MaxMinInstance* inst;
+  };
+  const std::vector<Workload> workloads = {
+      {"cycle_wheel", &wheel},
+      {"paired_torus_grid", &grid},
+  };
+  const std::vector<std::int32_t> tenant_counts = smoke
+                                                      ? std::vector<std::int32_t>{2, 4}
+                                                      : std::vector<std::int32_t>{2, 8};
+
+  Table table("Serve: multi-tenant churn through SolverService "
+              "(submit + drain per batch, R = 4)");
+  table.columns({"generator", "tenants", "chaos", "agents/t", "batches",
+                 "edits/s", "p50_ms", "p99_ms", "malformed", "dl_aborts",
+                 "identical"});
+  std::vector<RunResult> runs;
+  for (const Workload& w : workloads) {
+    for (const std::int32_t tenants : tenant_counts) {
+      for (const bool chaos : {false, true}) {
+        // One chaos row per (family, largest tenant count) is enough to
+        // price the hostile-traffic overhead; skip the small-count twins.
+        if (chaos && tenants != tenant_counts.back()) continue;
+        std::fprintf(stderr, "running %s tenants=%d chaos=%d...\n", w.name,
+                     tenants, chaos ? 1 : 0);
+        Timer row_timer;
+        const RunResult r =
+            run_workload(w.name, *w.inst, tenants, batches, chaos,
+                         3000 + static_cast<std::uint64_t>(tenants));
+        std::fprintf(stderr,
+                     "  done in %.1f s: %.0f edits/s, p50 %.2f ms, p99 %.2f "
+                     "ms, %lld aborts\n",
+                     row_timer.seconds(), r.edits_per_s, r.p50_ms, r.p99_ms,
+                     static_cast<long long>(r.deadline_aborts));
+        table.row({Table::cell(r.generator), Table::cell(r.tenants),
+                   Table::cell(r.chaos ? "yes" : "no"),
+                   Table::cell(r.agents_per_tenant), Table::cell(r.batches),
+                   Table::cell(r.edits_per_s, 0), Table::cell(r.p50_ms, 2),
+                   Table::cell(r.p99_ms, 2),
+                   Table::cell(r.rejected_malformed),
+                   Table::cell(r.deadline_aborts),
+                   Table::cell(r.identical ? "yes" : "NO")});
+        runs.push_back(r);
+      }
+    }
+  }
+  table.note("every tenant's committed solution is compared bit-for-bit "
+             "against a scratch solver fed the accepted batches");
+  table.note("chaos rows interleave malformed batches (1 in 3) and run "
+             "every drain under a 50 us budget; abandoned batches commit "
+             "through idle-cycle repair");
+  table.print();
+
+  std::string json = "{\n  \"bench\": \"serve\",\n  \"mode\": \"";
+  json += smoke ? "smoke" : "full";
+  json += "\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    json += json_row(runs[i]);
+    json += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  LOCMM_CHECK_MSG(f != nullptr, "cannot write " << json_path);
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

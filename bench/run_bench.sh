@@ -9,6 +9,10 @@
 #                           after single-coefficient edits (E9)
 #   BENCH_faults.json       recovery overhead under seeded fault injection
 #                           (drop sweep, chaos + crash, permanent crash; E11)
+#   BENCH_serve.json        multi-tenant SolverService churn: sustained
+#                           edits/sec and p50/p99 submit+drain latency per
+#                           tenant count, plus chaos rows (malformed traffic
+#                           + deadline pressure) priced against clean serving
 #
 # Usage: bench/run_bench.sh [build-dir] [--smoke]
 #   --smoke runs bench_view_cache, bench_dynamics and bench_faults on
@@ -47,16 +51,17 @@ done
 
 if [ ! -x "$BUILD_DIR/bench_dp_engine" ] || [ ! -x "$BUILD_DIR/bench_view_cache" ] \
     || [ ! -x "$BUILD_DIR/bench_engines" ] || [ ! -x "$BUILD_DIR/bench_dynamics" ] \
-    || [ ! -x "$BUILD_DIR/bench_faults" ]; then
+    || [ ! -x "$BUILD_DIR/bench_faults" ] || [ ! -x "$BUILD_DIR/bench_serve" ]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j --target bench_dp_engine bench_view_cache \
-    bench_engines bench_dynamics bench_faults
+    bench_engines bench_dynamics bench_faults bench_serve
 fi
 
 "$BUILD_DIR/bench_dp_engine" BENCH_dp_engine.json
 "$BUILD_DIR/bench_view_cache" BENCH_view_cache.json ${SMOKE:+"$SMOKE"}
 "$BUILD_DIR/bench_dynamics" BENCH_dynamics.json ${SMOKE:+"$SMOKE"}
 "$BUILD_DIR/bench_faults" BENCH_faults.json ${SMOKE:+"$SMOKE"}
+"$BUILD_DIR/bench_serve" BENCH_serve.json ${SMOKE:+"$SMOKE"}
 
 # bench_engines prints self-checking tables (it aborts if the engines ever
 # disagree); wrap its output as JSON lines so the artifact upload picks up

@@ -205,37 +205,68 @@ void LocalResolver::solve_from_pipeline() {
 
 const LocalSolution& LocalResolver::resolve(const InstanceDelta& delta) {
   if (delta.empty()) return sol_;
-  // Apply against a copy so a rejected delta (CheckError out of the batch
-  // validation) leaves the resolver exactly as it was; the copy is O(nnz),
-  // which the pipeline re-run below pays anyway.
-  MaxMinInstance next_inst = inst_;
-  next_inst.apply(delta);
-  inst_ = std::move(next_inst);
 
-  // Re-run the §4 pipeline on the edited original.  The transforms are
-  // deterministic whole-instance passes whose *structure* depends only on
-  // the sparsity pattern, so a coefficient-only delta yields a special form
-  // that diffs against the previous one as a small coefficient delta
-  // (structural edits renumber the output and make the diff fail over to a
-  // cache-warm re-initialisation).  The pipeline itself is O(n) with small
-  // constants -- the dirty-ball solve it feeds is what was worth saving.
-  Pipeline next = to_special_form(inst_);
-  const std::optional<InstanceDelta> special_delta =
-      diff_instances(pipeline_.special, next.special);
-  pipeline_ = std::move(next);  // back-maps capture coefficients: always swap
+  // Admission first: a rejected delta throws before anything at all -- not
+  // even an instance copy -- happens.
+  const std::vector<std::string> violations = delta.check_applicable(inst_);
+  LOCMM_CHECK_MSG(violations.empty(),
+                  "delta rejected: " << violations.front()
+                                     << (violations.size() > 1
+                                             ? " (+" +
+                                                   std::to_string(
+                                                       violations.size() - 1) +
+                                                   " more)"
+                                             : ""));
 
-  if (special_delta.has_value()) {
-    last_was_delta_ = true;
-    inc_->apply(*special_delta);
-    sol_.x_special = inc_->x();
-    // The dynamic path's scheduler accounting: fresh messages scale with
-    // the dirty ball, replayed ones with what it consumed from the cache
-    // (both zero for the engine-L resolver, which never touches the wire).
-    sol_.net_stats = inc_->last_update().net;
-    finish_solution(inst_, pipeline_, params_.R, sol_);
-  } else {
-    last_was_delta_ = false;
-    solve_from_pipeline();  // cache_ survives: seen classes stay colour-hits
+  // Strong guarantee for deeper failures too: snapshot the members a failed
+  // re-solve would otherwise leave half-updated (O(nnz), the price the old
+  // rejection-safety copy paid on every call -- now only both-ways cheap:
+  // the happy path moves them back out of scope).  inc_ needs no snapshot:
+  // its own apply() is transactional, and the re-initialisation path only
+  // replaces it after the new solver constructed successfully.
+  MaxMinInstance prev_inst = inst_;
+  Pipeline prev_pipeline = pipeline_;
+  const bool prev_last_was_delta = last_was_delta_;
+  try {
+    inst_.apply(delta);  // cannot fail: admitted above
+
+    // Re-run the §4 pipeline on the edited original.  The transforms are
+    // deterministic whole-instance passes whose *structure* depends only on
+    // the sparsity pattern, so a coefficient-only delta yields a special
+    // form that diffs against the previous one as a small coefficient delta
+    // (structural edits renumber the output and make the diff fail over to
+    // a cache-warm re-initialisation).  The pipeline itself is O(n) with
+    // small constants -- the dirty-ball solve it feeds is what was worth
+    // saving.
+    Pipeline next = to_special_form(inst_);
+    const std::optional<InstanceDelta> special_delta =
+        diff_instances(pipeline_.special, next.special);
+    pipeline_ = std::move(next);  // back-maps capture coefficients: swap
+
+    if (special_delta.has_value()) {
+      last_was_delta_ = true;
+      inc_->apply(*special_delta);
+      sol_.x_special = inc_->x();
+      // The dynamic path's scheduler accounting: fresh messages scale with
+      // the dirty ball, replayed ones with what it consumed from the cache
+      // (both zero for the engine-L resolver, which never touches the
+      // wire).
+      sol_.net_stats = inc_->last_update().net;
+      finish_solution(inst_, pipeline_, params_.R, sol_);
+    } else {
+      last_was_delta_ = false;
+      solve_from_pipeline();  // cache_ survives: colour-hits stay warm
+    }
+  } catch (...) {
+    // Roll the resolver back to the pre-call state.  inc_ already rolled
+    // itself back (transactional apply), or was never replaced (a throwing
+    // re-initialisation leaves the old solver in place), so restoring the
+    // instance and pipeline re-establishes the full invariant.  sol_ is
+    // written only after the solve committed, so it was never touched.
+    inst_ = std::move(prev_inst);
+    pipeline_ = std::move(prev_pipeline);
+    last_was_delta_ = prev_last_was_delta;
+    throw;
   }
   return sol_;
 }

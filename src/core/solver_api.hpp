@@ -138,10 +138,12 @@ class LocalResolver {
   const LocalSolution& solution() const { return sol_; }
 
   // Applies `delta` (original-instance coordinates) and incrementally
-  // re-solves; returns the updated solution.  A delta the batch validation
-  // rejects (lp/delta.hpp) throws CheckError with the resolver unchanged;
-  // a failure deeper in the solve (e.g. an engine-L view blowing its node
-  // budget) propagates with the resolver state unspecified -- rebuild it.
+  // re-solves; returns the updated solution.  Strong exception guarantee:
+  // a delta the admission dry run rejects (InstanceDelta::check_applicable)
+  // throws CheckError before anything happens, and a failure deeper in the
+  // solve rolls back -- instance, pipeline, solver and solution are left
+  // bitwise as before the call either way (tests/solver_api_test.cpp diffs
+  // the full state after every rejected-delta shape).
   const LocalSolution& resolve(const InstanceDelta& delta);
 
   // Whether the last resolve() took the special-form delta fast path

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <sstream>
 
 #include "lp/delta.hpp"
 #include "transform/transform.hpp"
@@ -71,16 +73,90 @@ void SpecialFormInstance::rebuild_derived() {
   }
 }
 
-void SpecialFormInstance::apply(const InstanceDelta& delta) {
-  // The special form pins every objective coefficient to 1; reject the edit
-  // up front so a bad batch fails before anything mutates.
-  for (const CoeffEdit& e : delta.coeff_edits) {
-    LOCMM_CHECK_MSG(e.kind == RowKind::kConstraint || e.coeff == 1.0,
-                    "objective coefficients are fixed to 1 in special form "
-                    "(edit of row "
-                        << e.row << ", agent " << e.agent << " to " << e.coeff
-                        << ")");
+std::vector<std::string> SpecialFormInstance::check_applicable(
+    const InstanceDelta& delta) const {
+  std::vector<std::string> out = delta.check_applicable(inst_);
+
+  // The special form pins every objective coefficient to 1 (paper §4: the
+  // pipeline normalizes c_kv away; §5 never reads it).
+  auto pinned = [&out](const char* verb, std::int32_t row, AgentId agent,
+                       double c) {
+    if (c == 1.0) return;
+    std::ostringstream os;
+    os << "objective coefficients are fixed to 1 in special form (" << verb
+       << " of row " << row << ", agent " << agent << " to " << c << ")";
+    out.push_back(os.str());
+  };
+  for (const MembershipEdit& e : delta.adds) {
+    if (e.kind == RowKind::kObjective) pinned("add", e.row, e.agent, e.coeff);
   }
+  for (const CoeffEdit& e : delta.coeff_edits) {
+    if (e.kind == RowKind::kObjective) pinned("edit", e.row, e.agent, e.coeff);
+  }
+
+  // The structural postconditions need clean growth accounting, which the
+  // instance-level dry run only guarantees for an admissible batch.
+  if (!out.empty()) return out;
+
+  std::map<std::int32_t, std::int64_t> con_growth, obj_growth;
+  std::map<AgentId, std::int64_t> kv_growth;
+  auto account = [&](const MembershipEdit& e, std::int64_t d) {
+    if (e.kind == RowKind::kConstraint) {
+      con_growth[e.row] += d;
+    } else {
+      obj_growth[e.row] += d;
+      kv_growth[e.agent] += d;
+    }
+  };
+  for (const MembershipEdit& e : delta.removes) account(e, -1);
+  for (const MembershipEdit& e : delta.adds) account(e, +1);
+
+  for (const auto& [row, g] : con_growth) {
+    const auto size =
+        static_cast<std::int64_t>(inst_.constraint_row(row).size()) + g;
+    if (size != 2) {
+      std::ostringstream os;
+      os << "delta leaves constraint row " << row << " with " << size
+         << " agents; special form requires exactly 2";
+      out.push_back(os.str());
+    }
+  }
+  for (const auto& [row, g] : obj_growth) {
+    const auto size =
+        static_cast<std::int64_t>(inst_.objective_row(row).size()) + g;
+    if (size < 2) {
+      std::ostringstream os;
+      os << "delta leaves objective row " << row << " with " << size
+         << " agents; special form requires >= 2";
+      out.push_back(os.str());
+    }
+  }
+  for (const auto& [agent, g] : kv_growth) {
+    const auto size =
+        static_cast<std::int64_t>(inst_.agent_objectives(agent).size()) + g;
+    if (size != 1) {
+      std::ostringstream os;
+      os << "delta leaves agent " << agent << " in " << size
+         << " objective rows; special form requires exactly 1";
+      out.push_back(os.str());
+    }
+  }
+  return out;
+}
+
+void SpecialFormInstance::apply(const InstanceDelta& delta) {
+  // Admit-then-mutate (same shape as MaxMinInstance::apply): once the batch
+  // passes the special-form dry run, nothing below can fail, so a rejected
+  // delta throws with instance and derived arrays bitwise unchanged.
+  const std::vector<std::string> violations = check_applicable(delta);
+  LOCMM_CHECK_MSG(violations.empty(),
+                  "delta rejected: " << violations.front()
+                                     << (violations.size() > 1
+                                             ? " (+" +
+                                                   std::to_string(
+                                                       violations.size() - 1) +
+                                                   " more)"
+                                             : ""));
 
   inst_.apply(delta);
   if (delta.structural()) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "lp/instance.hpp"
@@ -43,12 +44,21 @@ class SpecialFormInstance {
   // deltas (membership add/remove) rebuild the derived arrays from the
   // edited instance -- O(n) with small constants, still negligible next to
   // any solve; see src/dynamic/incremental_solver.hpp for the layer that
-  // keeps the *solve* ball-local either way.  The special-form contract
-  // must survive the batch: constraint coefficients may take any positive
-  // value, objective coefficients are pinned to 1 (editing one throws), and
-  // structural edits are re-checked in full (|Vi| = 2, |Kv| = 1, |Vk| >= 2)
-  // -- violations throw CheckError.
+  // keeps the *solve* ball-local either way.  The whole batch is admitted
+  // via check_applicable first and only a clean batch mutates, so apply has
+  // the strong exception guarantee: a rejected delta throws CheckError with
+  // the instance and every derived array bitwise unchanged.
   void apply(const InstanceDelta& delta);
+
+  // Dry-run admission check (the special-form analogue of
+  // InstanceDelta::check_applicable, which it includes): the batch must be
+  // applicable to the underlying instance AND preserve the special-form
+  // contract on everything it touches -- objective coefficients pinned to 1,
+  // touched constraint rows left with exactly 2 agents, touched objective
+  // rows with >= 2, touched agents in exactly 1 objective row.  Returns one
+  // message per violation; empty means apply() is guaranteed to succeed.
+  // Never mutates, never throws.
+  std::vector<std::string> check_applicable(const InstanceDelta& delta) const;
 
   const MaxMinInstance& instance() const { return inst_; }
   std::int32_t num_agents() const { return inst_.num_agents(); }

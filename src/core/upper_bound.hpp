@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/special_form.hpp"
+#include "support/deadline.hpp"
 
 namespace locmm {
 
@@ -139,6 +140,13 @@ struct TSearchOptions {
   bool cache_color_keys_only = false;
   // Optional operation-count instrumentation; not owned.  Thread-safe.
   TSearchStats* stats = nullptr;
+  // Optional cooperative compute budget (support/deadline.hpp); not owned.
+  // Deadline-aware stages (evaluate_view_classes) probe it per view-class
+  // evaluation and abandon the solve with DeadlineExceeded once expired --
+  // the serving layer's degradation hook.  Does not affect outputs of
+  // completed solves, so (like stats) it is excluded from the ViewClassCache
+  // options fingerprint.
+  const Deadline* deadline = nullptr;
 };
 
 // The dependency cone of agent u: all states (v, d, role) reachable from the

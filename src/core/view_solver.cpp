@@ -1154,7 +1154,17 @@ ClassEvalResult evaluate_view_classes(const CommGraph& g,
   std::vector<double>& xc = res.x_class;
   std::atomic<std::int64_t> cache_hits{0};
   std::atomic<std::int64_t> evals{0};
+  std::atomic<bool> past_deadline{false};
   parallel_for(num_classes, threads, [&](std::size_t ci) {
+    // Cooperative budget probe, once per class: workers never throw across
+    // the pool boundary -- they set the shared flag and drain, and the
+    // single DeadlineExceeded is raised after the join below.
+    if (opt.deadline != nullptr &&
+        (past_deadline.load(std::memory_order_relaxed) ||
+         opt.deadline->tick())) {
+      past_deadline.store(true, std::memory_order_relaxed);
+      return;
+    }
     std::uint64_t ckey = 0;
     if (cache != nullptr) {
       ckey = ViewClassCache::color_key(classes.color_a[ci],
@@ -1182,6 +1192,13 @@ ClassEvalResult evaluate_view_classes(const CommGraph& g,
       cache->insert_color(ckey, xc[ci]);
     }
   });
+  if (past_deadline.load()) {
+    // Skipped classes hold meaningless zeros; the caller must abandon the
+    // whole result (IncrementalSolver::apply rolls back transactionally).
+    // Cache insertions from classes that DID complete stay valid: every
+    // entry is a self-contained (key, value) fact independent of this call.
+    throw DeadlineExceeded("deadline exceeded during view-class evaluation");
+  }
   res.evals = evals.load();
   res.cache_hits = cache_hits.load();
   if (opt.stats != nullptr) {

@@ -1,7 +1,9 @@
 #include "dynamic/incremental_solver.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "dist/fault.hpp"
 #include "dist/gather.hpp"
@@ -181,10 +183,26 @@ std::unique_ptr<NodeProgram> IncrementalSolver::make_program(
 }
 
 const std::vector<double>& IncrementalSolver::apply(
-    const InstanceDelta& delta) {
+    const InstanceDelta& delta, const Deadline* deadline) {
+  LOCMM_CHECK_MSG(deadline == nullptr ||
+                      opt_.engine == DynamicEngine::kMemoizedDp,
+                  "deadline-bounded apply is an engine-L feature; the "
+                  "distributed replays have no abandon points");
   last_ = {};
   last_.agents_reused = g_.num_agents();
   if (delta.empty()) return x_;
+
+  // Admission before anything mutates or even advances (cache epoch, flood
+  // stamps): a rejected delta leaves the solver bitwise untouched.
+  const std::vector<std::string> violations = sf_.check_applicable(delta);
+  LOCMM_CHECK_MSG(violations.empty(),
+                  "delta rejected: " << violations.front()
+                                     << (violations.size() > 1
+                                             ? " (+" +
+                                                   std::to_string(
+                                                       violations.size() - 1) +
+                                                   " more)"
+                                             : ""));
 
   // Dirty seeds: both endpoints of every touched edge.  Row/agent counts
   // never change under membership edits, so node ids are stable across the
@@ -201,7 +219,7 @@ const std::vector<double>& IncrementalSolver::apply(
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
 
   if (opt_.engine == DynamicEngine::kMemoizedDp) {
-    apply_memoized(seeds, delta);
+    apply_memoized(seeds, delta, deadline);
   } else {
     apply_distributed(seeds, delta);
   }
@@ -265,18 +283,33 @@ void IncrementalSolver::apply_distributed(const std::vector<NodeId>& seeds,
 }
 
 void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
-                                       const InstanceDelta& delta) {
+                                       const InstanceDelta& delta,
+                                       const Deadline* deadline) {
   // One cache epoch per update: entries whose last hit is older than the
   // cache's configured max_entry_age get swept (no-op on the default
   // keep-everything configuration).
   cache_->begin_epoch();
 
+  // Near-wrap renumbering: the stamp arrays only ever compare against the
+  // current epoch, so zeroing both and restarting the counter is invisible
+  // -- one O(n) fill per ~4 billion updates keeps a long-lived solver
+  // running forever (each update claims at most 3 epochs).
+  constexpr std::uint32_t kEpochRenumber = 0xFFFFFF00u;
+  if (epoch_ >= kEpochRenumber) {
+    std::fill(node_stamp_.begin(), node_stamp_.end(), 0u);
+    std::fill(agent_stamp_.begin(), agent_stamp_.end(), 0u);
+    epoch_ = 0;
+  }
+
   // The per-update agent-dedup epoch spans the (up to) two floods below;
   // collect_dirty claims epoch numbers pairwise, so force the counter onto
   // an even boundary first: both floods then share one agent epoch.
   if (epoch_ % 2 != 0) ++epoch_;
-  LOCMM_CHECK_MSG(epoch_ < 0xFFFFFFF0u, "epoch counter near wrap; "
-                                        "re-create the IncrementalSolver");
+
+  // Everything up to the sf_.apply below reads the PRE-edit state, so a
+  // deadline expiring here abandons with nothing to roll back (flood
+  // stamps and the cache epoch are scratch, not observable solve state).
+  if (deadline != nullptr) deadline->check("admission");
 
   std::vector<AgentId> dirty;
   Timer flood_timer;
@@ -286,6 +319,37 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
     collect_dirty(g_, seeds, dirty);
   }
   last_.flood_us += flood_timer.micros();
+
+  // Rollback state, captured before the mutation: a structural delta
+  // snapshots the instance (O(n) memcpys, same order as the graph rebuild
+  // it already pays); a coefficient-only delta records the inverse edits
+  // (first write per entry wins, so duplicate edits in one batch still
+  // restore the original value).
+  std::optional<MaxMinInstance> pre_edit;
+  InstanceDelta inverse;
+  if (delta.structural()) {
+    pre_edit = sf_.instance();
+  } else {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(delta.coeff_edits.size());
+    for (const CoeffEdit& e : delta.coeff_edits) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(e.kind == RowKind::kObjective) << 63) |
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.row))
+           << 32) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.agent));
+      if (!seen.insert(key).second) continue;
+      const auto row = e.kind == RowKind::kConstraint
+                           ? sf_.instance().constraint_row(e.row)
+                           : sf_.instance().objective_row(e.row);
+      for (const Entry& en : row) {
+        if (en.agent == e.agent) {
+          inverse.coeff_edits.push_back({e.kind, e.row, e.agent, en.coeff});
+          break;
+        }
+      }
+    }
+  }
 
   Timer apply_timer;
   sf_.apply(delta);
@@ -303,59 +367,89 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
   }
   last_.apply_us = apply_timer.micros();
 
-  flood_timer.reset();
-  collect_dirty(g_, seeds, dirty);  // post-edit ball
-  std::sort(dirty.begin(), dirty.end());
-  last_.flood_us += flood_timer.micros();
-  last_.agents_dirty = static_cast<std::int64_t>(dirty.size());
-  last_.agents_reused = g_.num_agents() - last_.agents_dirty;
-  if (dirty.empty()) return;
+  try {
+    if (deadline != nullptr) deadline->check("graph patch");
 
-  // Re-colour the dirty ball only (cone-restricted WL; bit-equal to a
-  // whole-graph full-depth refine for exactly these agents).
-  Timer refine_timer;
-  const PartialColors pc = refine_agent_colors(g_, D_, dirty);
-  last_.refine_us = refine_timer.micros();
-  last_.region_nodes = pc.region_nodes;
+    flood_timer.reset();
+    collect_dirty(g_, seeds, dirty);  // post-edit ball
+    std::sort(dirty.begin(), dirty.end());
+    last_.flood_us += flood_timer.micros();
+    last_.agents_dirty = static_cast<std::int64_t>(dirty.size());
+    last_.agents_reused = g_.num_agents() - last_.agents_dirty;
+    if (dirty.empty()) return;
 
-  // Group the dirty agents into view classes by colour.  `dirty` is sorted
-  // ascending, so the first member seen is the smallest agent: the same
-  // representative choice refine_view_classes makes.
-  ViewClasses groups;
-  groups.rounds = D_;
-  std::vector<std::int32_t> group_of(dirty.size());
-  std::unordered_map<ColorPair, std::int32_t, ColorPairHash> ids;
-  ids.reserve(dirty.size());
-  for (std::size_t i = 0; i < dirty.size(); ++i) {
-    const ColorPair c{pc.color_a[i], pc.color_b[i]};
-    const auto [it, inserted] =
-        ids.emplace(c, static_cast<std::int32_t>(groups.representative.size()));
-    if (inserted) {
-      groups.representative.push_back(dirty[i]);
-      groups.class_size.push_back(0);
-      groups.color_a.push_back(c.a);
-      groups.color_b.push_back(c.b);
+    // Re-colour the dirty ball only (cone-restricted WL; bit-equal to a
+    // whole-graph full-depth refine for exactly these agents).
+    Timer refine_timer;
+    const PartialColors pc = refine_agent_colors(g_, D_, dirty);
+    last_.refine_us = refine_timer.micros();
+    last_.region_nodes = pc.region_nodes;
+    if (deadline != nullptr) deadline->check("recolour");
+
+    // Group the dirty agents into view classes by colour.  `dirty` is
+    // sorted ascending, so the first member seen is the smallest agent: the
+    // same representative choice refine_view_classes makes.
+    ViewClasses groups;
+    groups.rounds = D_;
+    std::vector<std::int32_t> group_of(dirty.size());
+    std::unordered_map<ColorPair, std::int32_t, ColorPairHash> ids;
+    ids.reserve(dirty.size());
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      const ColorPair c{pc.color_a[i], pc.color_b[i]};
+      const auto [it, inserted] = ids.emplace(
+          c, static_cast<std::int32_t>(groups.representative.size()));
+      if (inserted) {
+        groups.representative.push_back(dirty[i]);
+        groups.class_size.push_back(0);
+        groups.color_a.push_back(c.a);
+        groups.color_b.push_back(c.b);
+      }
+      group_of[i] = it->second;
+      ++groups.class_size[static_cast<std::size_t>(it->second)];
     }
-    group_of[i] = it->second;
-    ++groups.class_size[static_cast<std::size_t>(it->second)];
-  }
-  last_.classes_invalidated = groups.num_classes();
+    last_.classes_invalidated = groups.num_classes();
 
-  // Evaluate one representative per dirty class (colour-keyed cache hits
-  // skip even the view build), then scatter to the dirty agents.  Clean
-  // agents keep their stored output: their view is unchanged and x_v is a
-  // pure function of the view.
-  Timer eval_timer;
-  const ClassEvalResult ev =
-      evaluate_view_classes(g_, groups, opt_.R, eval_opt_, opt_.threads);
-  last_.eval_us = eval_timer.micros();
-  last_.class_cache_hits = ev.cache_hits;
-  last_.evals = ev.evals;
-  for (std::size_t i = 0; i < dirty.size(); ++i) {
-    const auto v = static_cast<std::size_t>(dirty[i]);
-    x_[v] = ev.x_class[static_cast<std::size_t>(group_of[i])];
-    color_a_[v] = pc.color_a[i];
-    color_b_[v] = pc.color_b[i];
+    // Evaluate one representative per dirty class (colour-keyed cache hits
+    // skip even the view build), then scatter to the dirty agents.  Clean
+    // agents keep their stored output: their view is unchanged and x_v is a
+    // pure function of the view.  The scatter into x_ / colours happens
+    // only after the evaluation returned in full, so an abandonment inside
+    // it leaves the solution arrays untouched.
+    TSearchOptions eopt = eval_opt_;
+    eopt.deadline = deadline;
+    Timer eval_timer;
+    const ClassEvalResult ev =
+        evaluate_view_classes(g_, groups, opt_.R, eopt, opt_.threads);
+    last_.eval_us = eval_timer.micros();
+    last_.class_cache_hits = ev.cache_hits;
+    last_.evals = ev.evals;
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      const auto v = static_cast<std::size_t>(dirty[i]);
+      x_[v] = ev.x_class[static_cast<std::size_t>(group_of[i])];
+      color_a_[v] = pc.color_a[i];
+      color_b_[v] = pc.color_b[i];
+    }
+  } catch (...) {
+    // Commit-or-rollback: undo the instance + graph mutation, leaving the
+    // solver bitwise as before the call (x_ and the colours were never
+    // written -- the scatter runs strictly after the last throw point).
+    // The structural path rebuilds both deterministically from the
+    // snapshot; the coefficient path applies the recorded inverse.
+    if (pre_edit.has_value()) {
+      sf_ = SpecialFormInstance(*pre_edit);
+      g_ = CommGraph(sf_.instance());
+    } else {
+      sf_.apply(inverse);
+      for (const CoeffEdit& e : inverse.coeff_edits) {
+        const NodeId row = e.kind == RowKind::kConstraint
+                               ? g_.constraint_node(e.row)
+                               : g_.objective_node(e.row);
+        g_.set_edge_coefficient(row, g_.agent_node(e.agent), e.coeff);
+      }
+    }
+    last_ = {};
+    last_.agents_reused = g_.num_agents();
+    throw;
   }
 
   if (TSearchStats* s = eval_opt_.stats; s != nullptr) {

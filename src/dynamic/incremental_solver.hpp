@@ -58,6 +58,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/special_form.hpp"
@@ -66,6 +67,7 @@
 #include "dist/message_passing.hpp"
 #include "graph/comm_graph.hpp"
 #include "lp/delta.hpp"
+#include "support/deadline.hpp"
 
 namespace locmm {
 
@@ -167,11 +169,39 @@ class IncrementalSolver {
 
   // Applies the batch (lp/delta.hpp semantics: removes, adds, coefficient
   // edits, in that order) and incrementally re-solves; returns the updated
-  // solution.  Throws CheckError -- with the solver state unspecified -- if
-  // the delta breaks the special-form contract.
-  const std::vector<double>& apply(const InstanceDelta& delta);
+  // solution.
+  //
+  // Transactional: commit-or-rollback.  A delta that breaks the
+  // special-form contract is rejected by the admission dry run
+  // (SpecialFormInstance::check_applicable) and throws CheckError BEFORE
+  // anything -- instance, graph, colours, cache, x -- is touched.  A
+  // `deadline` (engine L only; distributed engines CHECK it is null) that
+  // expires mid-resolve throws DeadlineExceeded and rolls the already
+  // applied mutation back: coefficient-only deltas via the recorded inverse
+  // delta, structural deltas via a deterministic rebuild from the pre-edit
+  // instance snapshot -- either way the solver is left bitwise identical to
+  // the state before the call, except for the ViewClassCache, which may
+  // have gained entries and advanced an epoch (sound: every entry is a
+  // self-contained colour -> value fact, and eviction only ever costs a
+  // re-evaluation).  Proved by the snapshot-compare tests in
+  // tests/incremental_test.cpp.
+  const std::vector<double>& apply(const InstanceDelta& delta,
+                                   const Deadline* deadline = nullptr);
 
   const UpdateStats& last_update() const { return last_; }
+
+  // Per-agent full-depth WL colours of the current solve state (engine L;
+  // all-zero for distributed engines, which keep message history instead).
+  // Exposed so tests can snapshot-compare the full solver state bitwise.
+  std::span<const std::uint64_t> agent_colors_a() const { return color_a_; }
+  std::span<const std::uint64_t> agent_colors_b() const { return color_b_; }
+
+  // Fast-forwards the flood-epoch counter (test hook for the near-wrap
+  // renumbering path; `epoch` must not move backwards).
+  void set_flood_epoch_for_test(std::uint32_t epoch) {
+    LOCMM_CHECK(epoch >= epoch_);
+    epoch_ = epoch;
+  }
 
  private:
   // Marks and appends all agents within distance D(R) of `seeds` in `g`.
@@ -192,7 +222,7 @@ class IncrementalSolver {
   // The engine-L update path (WL recolouring + class evaluation) and the
   // distributed one (SyncNetwork replay); apply() dispatches on the engine.
   void apply_memoized(const std::vector<NodeId>& seeds,
-                      const InstanceDelta& delta);
+                      const InstanceDelta& delta, const Deadline* deadline);
   void apply_distributed(const std::vector<NodeId>& seeds,
                          const InstanceDelta& delta);
 

@@ -1,7 +1,10 @@
 #include "lp/delta.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <sstream>
+#include <unordered_map>
 
 namespace locmm {
 
@@ -41,12 +44,13 @@ std::int64_t find_in_agent(const RowArrays& a, AgentId v, std::int32_t row) {
   return -1;
 }
 
+// The mutation helpers below run only after check_applicable has admitted
+// the whole batch, so their lookups cannot fail on well-formed callers; the
+// CHECKs that remain guard the internal CSR invariants, not the input.
+
 void remove_membership(RowArrays a, const MembershipEdit& e) {
   const std::int64_t rj = find_in_row(a, e.row, e.agent);
-  LOCMM_CHECK_MSG(rj >= 0, "delta removes agent " << e.agent << " from "
-                                                  << to_string(e.kind)
-                                                  << " row " << e.row
-                                                  << ", but it is not there");
+  LOCMM_CHECK(rj >= 0);
   a.row_entries.erase(a.row_entries.begin() + rj);
   for (std::size_t i = static_cast<std::size_t>(e.row) + 1;
        i < a.row_offsets.size(); ++i) {
@@ -62,15 +66,6 @@ void remove_membership(RowArrays a, const MembershipEdit& e) {
 }
 
 void add_membership(RowArrays a, const MembershipEdit& e) {
-  LOCMM_CHECK_MSG(e.coeff > 0.0, "delta adds agent "
-                                     << e.agent << " to " << to_string(e.kind)
-                                     << " row " << e.row
-                                     << " with non-positive coefficient "
-                                     << e.coeff);
-  LOCMM_CHECK_MSG(find_in_row(a, e.row, e.agent) < 0,
-                  "delta adds agent " << e.agent << " to " << to_string(e.kind)
-                                      << " row " << e.row
-                                      << ", but it is already there");
   // Appended at the end of the row: the new entry takes the last port,
   // exactly where InstanceBuilder would put it.
   a.row_entries.insert(
@@ -95,24 +90,176 @@ void add_membership(RowArrays a, const MembershipEdit& e) {
 }
 
 void edit_coefficient(RowArrays a, const CoeffEdit& e) {
-  LOCMM_CHECK_MSG(e.coeff > 0.0, "delta sets " << to_string(e.kind) << " row "
-                                               << e.row << ", agent "
-                                               << e.agent
-                                               << " to non-positive "
-                                               << e.coeff);
   const std::int64_t rj = find_in_row(a, e.row, e.agent);
-  LOCMM_CHECK_MSG(rj >= 0, "delta edits " << to_string(e.kind) << " row "
-                                          << e.row << ", agent " << e.agent
-                                          << ", but the entry does not exist");
+  LOCMM_CHECK(rj >= 0);
   a.row_entries[static_cast<std::size_t>(rj)].coeff = e.coeff;
   const std::int64_t aj = find_in_agent(a, e.agent, e.row);
   LOCMM_CHECK(aj >= 0);
   a.agent_inc[static_cast<std::size_t>(aj)].coeff = e.coeff;
 }
 
+// 64-bit keys for the dry-run simulation maps: (kind, row, agent) for
+// memberships, (kind, id) for per-row / per-agent growth accounting.
+std::uint64_t edge_key(RowKind k, std::int32_t row, AgentId agent) {
+  return (static_cast<std::uint64_t>(k == RowKind::kObjective) << 63) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(agent));
+}
+std::uint64_t id_key(RowKind k, std::int32_t id) {
+  return (static_cast<std::uint64_t>(k == RowKind::kObjective) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+}
+
 }  // namespace
 
+std::vector<std::string> InstanceDelta::check_applicable(
+    const MaxMinInstance& inst) const {
+  std::vector<std::string> out;
+  auto complain = [&out](const auto& streamable) {
+    std::ostringstream os;
+    streamable(os);
+    out.push_back(os.str());
+  };
+
+  // Batch-local state: membership overrides keyed by (kind, row, agent),
+  // and net growth per touched row / per touched agent incidence list.  The
+  // instance is consulted lazily (one row scan per distinct edge), so the
+  // dry run costs O(batch * row degree) like apply() itself -- never O(n).
+  std::unordered_map<std::uint64_t, bool> present;
+  std::unordered_map<std::uint64_t, std::int64_t> row_growth;
+  std::unordered_map<std::uint64_t, std::int64_t> agent_growth;
+
+  auto rows_of = [&inst](RowKind k) {
+    return k == RowKind::kConstraint ? inst.num_constraints()
+                                     : inst.num_objectives();
+  };
+  auto ids_ok = [&](RowKind k, std::int32_t row, AgentId agent) {
+    bool ok = true;
+    if (row < 0 || row >= rows_of(k)) {
+      complain([&](std::ostringstream& os) {
+        os << to_string(k) << " row " << row << " out of range";
+      });
+      ok = false;
+    }
+    if (agent < 0 || agent >= inst.num_agents()) {
+      complain([&](std::ostringstream& os) {
+        os << "agent " << agent << " out of range";
+      });
+      ok = false;
+    }
+    return ok;
+  };
+  auto entry_in_instance = [&](RowKind k, std::int32_t row, AgentId agent) {
+    const auto entries = k == RowKind::kConstraint ? inst.constraint_row(row)
+                                                   : inst.objective_row(row);
+    for (const Entry& e : entries) {
+      if (e.agent == agent) return true;
+    }
+    return false;
+  };
+  auto is_present = [&](RowKind k, std::int32_t row, AgentId agent) {
+    const auto it = present.find(edge_key(k, row, agent));
+    if (it != present.end()) return it->second;
+    return entry_in_instance(k, row, agent);
+  };
+  auto coeff_ok = [&](RowKind k, std::int32_t row, AgentId agent, double c,
+                      const char* verb) {
+    if (c > 0.0 && std::isfinite(c)) return true;
+    complain([&](std::ostringstream& os) {
+      os << "delta " << verb << " " << to_string(k) << " row " << row
+         << ", agent " << agent << " with "
+         << (c > 0.0 ? "non-finite" : "non-positive") << " coefficient " << c;
+    });
+    return false;
+  };
+
+  for (const MembershipEdit& e : removes) {
+    if (!ids_ok(e.kind, e.row, e.agent)) continue;
+    if (!is_present(e.kind, e.row, e.agent)) {
+      complain([&](std::ostringstream& os) {
+        os << "delta removes agent " << e.agent << " from "
+           << to_string(e.kind) << " row " << e.row
+           << ", but it is not there";
+      });
+      continue;
+    }
+    present[edge_key(e.kind, e.row, e.agent)] = false;
+    --row_growth[id_key(e.kind, e.row)];
+    --agent_growth[edge_key(e.kind, 0, e.agent)];
+  }
+  for (const MembershipEdit& e : adds) {
+    if (!ids_ok(e.kind, e.row, e.agent)) continue;
+    const bool well_formed = coeff_ok(e.kind, e.row, e.agent, e.coeff, "adds");
+    if (is_present(e.kind, e.row, e.agent)) {
+      complain([&](std::ostringstream& os) {
+        os << "delta adds agent " << e.agent << " to " << to_string(e.kind)
+           << " row " << e.row << ", but it is already there";
+      });
+      continue;
+    }
+    if (!well_formed) continue;
+    present[edge_key(e.kind, e.row, e.agent)] = true;
+    ++row_growth[id_key(e.kind, e.row)];
+    ++agent_growth[edge_key(e.kind, 0, e.agent)];
+  }
+  for (const CoeffEdit& e : coeff_edits) {
+    if (!ids_ok(e.kind, e.row, e.agent)) continue;
+    coeff_ok(e.kind, e.row, e.agent, e.coeff, "sets");
+    if (!is_present(e.kind, e.row, e.agent)) {
+      complain([&](std::ostringstream& os) {
+        os << "delta edits " << to_string(e.kind) << " row " << e.row
+           << ", agent " << e.agent << ", but the entry does not exist";
+      });
+    }
+  }
+
+  // Post-batch local invariants of everything touched (the whole-instance
+  // contract of validate(), restricted to the batch's footprint).
+  for (const auto& [key, growth] : row_growth) {
+    const RowKind k = (key >> 32) != 0 ? RowKind::kObjective
+                                       : RowKind::kConstraint;
+    const auto row = static_cast<std::int32_t>(key & 0xFFFFFFFFu);
+    const auto size = static_cast<std::int64_t>(
+        (k == RowKind::kConstraint ? inst.constraint_row(row).size()
+                                   : inst.objective_row(row).size()));
+    if (size + growth < 1) {
+      complain([&](std::ostringstream& os) {
+        os << "delta leaves " << to_string(k) << " row " << row << " empty";
+      });
+    }
+  }
+  for (const auto& [key, growth] : agent_growth) {
+    const RowKind k = (key >> 63) != 0 ? RowKind::kObjective
+                                       : RowKind::kConstraint;
+    const auto agent = static_cast<AgentId>(key & 0xFFFFFFFFu);
+    const auto size = static_cast<std::int64_t>(
+        (k == RowKind::kConstraint ? inst.agent_constraints(agent).size()
+                                   : inst.agent_objectives(agent).size()));
+    if (size + growth < 1) {
+      complain([&](std::ostringstream& os) {
+        os << "delta leaves agent " << agent << " without "
+           << (k == RowKind::kConstraint ? "constraints" : "objectives");
+      });
+    }
+  }
+  return out;
+}
+
 void MaxMinInstance::apply(const InstanceDelta& delta) {
+  // Admit-then-mutate: the dry run validates the whole batch against the
+  // untouched instance, and the mutation below cannot fail afterwards --
+  // the strong exception guarantee (a rejected delta throws with the
+  // instance bitwise unchanged).
+  const std::vector<std::string> violations = delta.check_applicable(*this);
+  LOCMM_CHECK_MSG(violations.empty(),
+                  "delta rejected: " << violations.front()
+                                     << (violations.size() > 1
+                                             ? " (+" +
+                                                   std::to_string(
+                                                       violations.size() - 1) +
+                                                   " more)"
+                                             : ""));
+
   RowArrays con{constraint_offsets_, constraint_entries_,
                 agent_constraint_offsets_, agent_constraint_inc_};
   RowArrays obj{objective_offsets_, objective_entries_,
@@ -120,61 +267,14 @@ void MaxMinInstance::apply(const InstanceDelta& delta) {
   auto arrays = [&](RowKind k) -> RowArrays& {
     return k == RowKind::kConstraint ? con : obj;
   };
-  auto check_row_id = [&](RowKind k, std::int32_t row, AgentId v) {
-    const std::int32_t rows =
-        k == RowKind::kConstraint ? num_constraints() : num_objectives();
-    LOCMM_CHECK_MSG(row >= 0 && row < rows,
-                    to_string(k) << " row " << row << " out of range");
-    LOCMM_CHECK_MSG(v >= 0 && v < num_agents(),
-                    "agent " << v << " out of range");
-  };
-
-  // Touched rows/agents for the end-of-batch local validation.
-  std::vector<std::int32_t> touched_con, touched_obj;
-  std::vector<AgentId> touched_agents;
-  auto touch = [&](RowKind k, std::int32_t row, AgentId v) {
-    (k == RowKind::kConstraint ? touched_con : touched_obj).push_back(row);
-    touched_agents.push_back(v);
-  };
-
   for (const MembershipEdit& e : delta.removes) {
-    check_row_id(e.kind, e.row, e.agent);
     remove_membership(arrays(e.kind), e);
-    touch(e.kind, e.row, e.agent);
   }
   for (const MembershipEdit& e : delta.adds) {
-    check_row_id(e.kind, e.row, e.agent);
     add_membership(arrays(e.kind), e);
-    touch(e.kind, e.row, e.agent);
   }
   for (const CoeffEdit& e : delta.coeff_edits) {
-    check_row_id(e.kind, e.row, e.agent);
     edit_coefficient(arrays(e.kind), e);
-    touch(e.kind, e.row, e.agent);
-  }
-
-  // Local invariants of everything the batch touched (the whole-instance
-  // contract of validate(), restricted to the edit's footprint).
-  auto dedup = [](auto& v) {
-    std::sort(v.begin(), v.end());
-    v.erase(std::unique(v.begin(), v.end()), v.end());
-  };
-  dedup(touched_con);
-  dedup(touched_obj);
-  dedup(touched_agents);
-  for (const std::int32_t i : touched_con) {
-    LOCMM_CHECK_MSG(!constraint_row(i).empty(),
-                    "delta leaves constraint row " << i << " empty");
-  }
-  for (const std::int32_t k : touched_obj) {
-    LOCMM_CHECK_MSG(!objective_row(k).empty(),
-                    "delta leaves objective row " << k << " empty");
-  }
-  for (const AgentId v : touched_agents) {
-    LOCMM_CHECK_MSG(!agent_constraints(v).empty(),
-                    "delta leaves agent " << v << " without constraints");
-    LOCMM_CHECK_MSG(!agent_objectives(v).empty(),
-                    "delta leaves agent " << v << " without objectives");
   }
 }
 

@@ -16,7 +16,17 @@
 // between objectives is remove(k, v) + add(k', v) -- without ever observing
 // a half-applied state.  Local invariants (rows non-empty, no duplicate
 // agent in a row, every touched agent keeps >= 1 constraint and >= 1
-// objective, coefficients > 0) are checked after the whole batch.
+// objective, coefficients > 0 and finite) are validated by
+// check_applicable, a dry run that simulates the whole batch WITHOUT
+// mutating anything -- the admission-control primitive of the serving layer
+// (src/serve): untrusted tenant deltas are screened before any state is
+// touched, and every violation comes back as a structured message instead
+// of a throw.
+//
+// MaxMinInstance::apply gives the strong exception guarantee on top of it:
+// the batch is checked in full first, and only a clean batch mutates (the
+// mutation itself cannot fail), so a rejected delta throws CheckError with
+// the instance bitwise unchanged.
 //
 // MaxMinInstance::apply (declared in lp/instance.hpp, defined here) edits
 // the CSR arrays in place and leaves the instance bit-identical to a full
@@ -31,6 +41,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "lp/instance.hpp"
@@ -93,6 +104,18 @@ struct InstanceDelta {
     for (const MembershipEdit& e : adds) fn(e.kind, e.row, e.agent);
     for (const CoeffEdit& e : coeff_edits) fn(e.kind, e.row, e.agent);
   }
+
+  // Dry-run admission check: simulates the batch against `inst` (removes,
+  // then adds, then coefficient edits, exactly the apply() order, including
+  // edits that reference memberships created earlier in the same batch) and
+  // returns one message per violation -- out-of-range row/agent ids,
+  // non-positive / non-finite / NaN coefficients, removes of absent
+  // entries, duplicate adds, rows left empty, agents left without a
+  // constraint or an objective.  Empty result == the batch is applicable:
+  // apply() on the same instance is then guaranteed to succeed.  Never
+  // mutates and never throws; cost is O(batch * row degree), the same
+  // bound as apply() itself.
+  std::vector<std::string> check_applicable(const MaxMinInstance& inst) const;
 
   // --- convenience builders ---------------------------------------------
   InstanceDelta& set_constraint_coeff(ConstraintId i, AgentId v, double a) {

@@ -29,11 +29,23 @@ void write_instance(std::ostream& os, const MaxMinInstance& inst) {
   }
 }
 
-MaxMinInstance read_instance(std::istream& is) {
+namespace {
+
+[[noreturn]] void parse_fail(std::int64_t line_no, const std::string& msg) {
+  throw ParseError("parse error at line " + std::to_string(line_no) + ": " +
+                   msg);
+}
+
+}  // namespace
+
+MaxMinInstance read_instance(std::istream& is, const ReadLimits& limits) {
   std::string line;
+  std::int64_t line_no = 0;
+  std::int64_t rows = 0;
   bool saw_magic = false;
   InstanceBuilder builder;
   while (std::getline(is, line)) {
+    ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
@@ -41,35 +53,74 @@ MaxMinInstance read_instance(std::istream& is) {
     if (!(ls >> word)) continue;  // blank line
     if (word == "maxminlp") {
       int version = 0;
-      LOCMM_CHECK_MSG(ls >> version && version == 1,
-                      "unsupported maxminlp version");
+      if (!(ls >> version) || version != 1) {
+        parse_fail(line_no, "unsupported maxminlp version");
+      }
       saw_magic = true;
     } else if (word == "agents") {
-      LOCMM_CHECK_MSG(saw_magic, "missing 'maxminlp 1' header");
-      std::int32_t n = 0;
-      LOCMM_CHECK_MSG((ls >> n) && n >= 0, "bad agents line");
-      builder.ensure_agents(n);
+      if (!saw_magic) parse_fail(line_no, "missing 'maxminlp 1' header");
+      std::int64_t n = -1;
+      if (!(ls >> n) || n < 0) parse_fail(line_no, "bad agents line");
+      if (n > limits.max_agents) {
+        parse_fail(line_no, "agents " + std::to_string(n) +
+                                " exceeds the limit of " +
+                                std::to_string(limits.max_agents));
+      }
+      builder.ensure_agents(static_cast<std::int32_t>(n));
     } else if (word == "constraint" || word == "objective") {
-      LOCMM_CHECK_MSG(saw_magic, "missing 'maxminlp 1' header");
+      if (!saw_magic) parse_fail(line_no, "missing 'maxminlp 1' header");
+      if (++rows > limits.max_rows) {
+        parse_fail(line_no, "more than " + std::to_string(limits.max_rows) +
+                                " rows");
+      }
       std::vector<Entry> row;
       AgentId agent;
       double coeff;
       while (ls >> agent) {
-        LOCMM_CHECK_MSG(ls >> coeff, "dangling agent id in row");
+        if (!(ls >> coeff)) {
+          parse_fail(line_no, "bad or missing coefficient in " + word +
+                                  " row (after agent " +
+                                  std::to_string(agent) + ")");
+        }
+        if (static_cast<std::int64_t>(row.size()) >= limits.max_row_entries) {
+          parse_fail(line_no, "row exceeds " +
+                                  std::to_string(limits.max_row_entries) +
+                                  " entries");
+        }
         row.push_back({agent, coeff});
       }
-      LOCMM_CHECK_MSG(!row.empty(), "empty " << word << " row");
+      // The extraction loop stops at end-of-line OR on a token that is not
+      // an agent id (garbage, or an id overflowing int32) -- tell them
+      // apart so hostile tokens fail loudly instead of truncating the row.
+      if (ls.fail() && !ls.eof()) {
+        std::string tok;
+        ls.clear();
+        ls >> tok;
+        parse_fail(line_no, "bad token '" + tok + "' in " + word + " row");
+      }
+      if (row.empty()) parse_fail(line_no, "empty " + word + " row");
       if (word == "constraint") {
         builder.add_constraint(std::move(row));
       } else {
         builder.add_objective(std::move(row));
       }
     } else {
-      LOCMM_CHECK_MSG(false, "unknown directive '" << word << "'");
+      parse_fail(line_no, "unknown directive '" + word + "'");
     }
   }
-  LOCMM_CHECK_MSG(saw_magic, "missing 'maxminlp 1' header");
-  return builder.build();
+  if (is.bad()) parse_fail(line_no, "stream I/O failure");
+  if (!saw_magic) parse_fail(line_no, "missing 'maxminlp 1' header");
+  // The builder's semantic validation (ids in range, coefficients positive,
+  // no duplicate agent per row, every agent constrained and objectived) is
+  // an input problem here, not an internal invariant: re-brand it.
+  try {
+    return builder.build();
+  } catch (const ParseError&) {
+    throw;
+  } catch (const CheckError& e) {
+    throw ParseError(std::string("parse error: invalid instance: ") +
+                     e.what());
+  }
 }
 
 void save_instance(const std::string& path, const MaxMinInstance& inst) {

@@ -6,17 +6,46 @@
 //   constraint <agent> <coeff> [<agent> <coeff> ...]
 //   objective  <agent> <coeff> [<agent> <coeff> ...]
 // Entry order is preserved, so the port numbering round-trips.
+//
+// read_instance treats the stream as UNTRUSTED: every malformed shape --
+// truncated lines, garbage tokens, overflowing ids, header violations,
+// semantic rejects out of the builder -- throws ParseError with the
+// offending line number, never UB and never a partially built instance
+// (tests/io_test.cpp drives a corpus of hostile streams through it under
+// ASan).  ReadLimits caps the resources a hostile stream can commit before
+// validation.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "lp/instance.hpp"
+#include "support/check.hpp"
 
 namespace locmm {
 
+// Malformed input stream.  Derives from CheckError so legacy catch sites
+// keep working, but a parse failure is a caller-attributable input error,
+// not an internal invariant: the serving layer maps it to a structured
+// rejection instead of letting it escape as CheckError.
+class ParseError : public CheckError {
+ public:
+  explicit ParseError(const std::string& what) : CheckError(what) {}
+};
+
+// Ceilings against allocation bombs: an "agents 2000000000" line would
+// otherwise commit gigabytes before the builder validates anything.  The
+// defaults sit far above every real instance in this repo; serving tenants
+// pass tighter ones.
+struct ReadLimits {
+  std::int64_t max_agents = 50'000'000;
+  std::int64_t max_rows = 100'000'000;
+  std::int64_t max_row_entries = 1'000'000;
+};
+
 void write_instance(std::ostream& os, const MaxMinInstance& inst);
-MaxMinInstance read_instance(std::istream& is);
+MaxMinInstance read_instance(std::istream& is, const ReadLimits& limits = {});
 
 void save_instance(const std::string& path, const MaxMinInstance& inst);
 MaxMinInstance load_instance(const std::string& path);

@@ -1,0 +1,20 @@
+#include "serve/serve_status.hpp"
+
+namespace locmm {
+
+const char* to_string(ServeCode code) {
+  switch (code) {
+    case ServeCode::kOk: return "ok";
+    case ServeCode::kUnknownTenant: return "unknown-tenant";
+    case ServeCode::kTenantExists: return "tenant-exists";
+    case ServeCode::kMalformedDelta: return "malformed-delta";
+    case ServeCode::kOversizedBatch: return "oversized-batch";
+    case ServeCode::kQueueFull: return "queue-full";
+    case ServeCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ServeCode::kInvalidArgument: return "invalid-argument";
+    case ServeCode::kInternal: return "internal-error";
+  }
+  return "?";
+}
+
+}  // namespace locmm

@@ -1,0 +1,47 @@
+// serve_status.hpp -- the error taxonomy of the serving boundary.
+//
+// Inside the library a broken invariant throws CheckError and that is the
+// right tool: callers are trusted code and a violated precondition is a
+// bug.  At the SERVICE boundary the caller is an untrusted tenant, and a
+// malformed delta, an oversized batch or an unknown tenant name are normal
+// traffic, not bugs.  Every SolverService entry point therefore returns a
+// ServeStatus: tenant-attributable failures come back as structured
+// rejections with a code and a human-readable message, CheckError stays
+// reserved for true internal invariants (and even those are caught at the
+// boundary, reported as kInternal, and contained by resetting the tenant's
+// queue -- a service worker thread must never unwind through a throw).
+#pragma once
+
+#include <string>
+
+namespace locmm {
+
+enum class ServeCode {
+  kOk = 0,
+  kUnknownTenant,      // no tenant under that name
+  kTenantExists,       // create_tenant: name already taken
+  kMalformedDelta,     // admission dry run rejected the batch (message
+                       // carries the first violations verbatim)
+  kOversizedBatch,     // batch exceeds TenantLimits::max_batch_edits
+  kQueueFull,          // backpressure: bounded queue at capacity, batch shed
+  kDeadlineExceeded,   // drain abandoned transactionally; committed state
+                       // still serves (stale) until the next idle repair
+  kInvalidArgument,    // bad query argument / non-special-form instance
+  kInternal,           // contained CheckError escape -- a bug, counted and
+                       // reported, never thrown across the boundary
+};
+
+const char* to_string(ServeCode code);
+
+struct ServeStatus {
+  ServeCode code = ServeCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == ServeCode::kOk; }
+  static ServeStatus Ok() { return {}; }
+  static ServeStatus Error(ServeCode c, std::string msg) {
+    return {c, std::move(msg)};
+  }
+};
+
+}  // namespace locmm

@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "core/solver_api.hpp"
+#include "support/deadline.hpp"
 #include "core/view_solver.hpp"
 #include "dynamic/incremental_solver.hpp"
 #include "gen/generators.hpp"
@@ -777,6 +779,198 @@ TEST(LocalResolverSlow, DISABLED_LongScripts) {
                       3, 814, 8);
   run_resolver_script(grid_instance({.rows = 3, .cols = 4}, 6), 2, 821, 10);
   run_resolver_script(random_general({.num_agents = 14}, 8), 2, 841, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Transactional apply: commit-or-rollback, proved bitwise
+// ---------------------------------------------------------------------------
+
+// Snapshot-compares every piece of observable solver state against a second
+// solver that never saw the failed apply: instance (full CSR bit compare),
+// solution, and the per-agent WL colours.
+void expect_same_solver_state(const IncrementalSolver& a,
+                              const IncrementalSolver& b) {
+  expect_same_instance(a.special().instance(), b.special().instance());
+  ASSERT_EQ(a.x().size(), b.x().size());
+  for (std::size_t v = 0; v < a.x().size(); ++v) {
+    EXPECT_TRUE(same_bits(a.x()[v], b.x()[v])) << "x, agent " << v;
+  }
+  const auto ca = a.agent_colors_a(), cb = b.agent_colors_a();
+  const auto da = a.agent_colors_b(), db = b.agent_colors_b();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t v = 0; v < ca.size(); ++v) {
+    EXPECT_EQ(ca[v], cb[v]) << "colour a, agent " << v;
+    EXPECT_EQ(da[v], db[v]) << "colour b, agent " << v;
+  }
+  // Derived special-form arrays (arc mirrors, capacity bounds).
+  for (AgentId v = 0; v < a.special().num_agents(); ++v) {
+    EXPECT_TRUE(same_bits(a.special().inv_cap(v), b.special().inv_cap(v)));
+    EXPECT_TRUE(
+        same_bits(a.special().t_search_upper(v), b.special().t_search_upper(v)));
+  }
+}
+
+// Every rejected-delta shape must throw CheckError from the admission dry
+// run with the solver left bitwise identical to a control that never saw
+// the batch.
+TEST(IncrementalSolverTransactional, RejectedDeltasLeaveStateUntouched) {
+  const MaxMinInstance grid = special_grid_instance({.rows = 4, .cols = 8}, 2);
+  IncrementalSolver inc(grid);
+  const IncrementalSolver control(grid);
+
+  const AgentId a0 = grid.constraint_row(0)[0].agent;
+  const AgentId a1 = grid.constraint_row(0)[1].agent;
+  std::vector<InstanceDelta> rejects;
+  rejects.push_back(
+      InstanceDelta{}.set_constraint_coeff(grid.num_constraints() + 1, a0, 1.0));
+  rejects.push_back(
+      InstanceDelta{}.set_constraint_coeff(0, grid.num_agents() + 1, 1.0));
+  rejects.push_back(InstanceDelta{}.set_constraint_coeff(0, a0, -1.0));
+  rejects.push_back(InstanceDelta{}.set_constraint_coeff(
+      0, a0, std::numeric_limits<double>::quiet_NaN()));
+  rejects.push_back(InstanceDelta{}.set_constraint_coeff(
+      0, a0, std::numeric_limits<double>::infinity()));
+  rejects.push_back(InstanceDelta{}.set_objective_coeff(0, -1, 1.0));
+  // Structural rejects: absent remove, duplicate add, emptied row, |Vi|!=2.
+  rejects.push_back(InstanceDelta{}.remove_from_constraint(0, a0 == 0 ? 1 : 0));
+  rejects.push_back(InstanceDelta{}.add_to_constraint(0, a0, 1.0));
+  rejects.push_back(
+      InstanceDelta{}.remove_from_constraint(0, a0).remove_from_constraint(0,
+                                                                           a1));
+  rejects.push_back(InstanceDelta{}.add_to_constraint(
+      0, grid.agent_constraints(0).empty() ? a0 : 0, 1.0));
+  // Special-form pin: objective coefficients must stay 1.
+  rejects.push_back(
+      InstanceDelta{}.set_objective_coeff(0, grid.objective_row(0)[0].agent,
+                                          2.0));
+  // Mixed batch: one valid edit + one bad one -- the whole batch must be
+  // rejected with nothing applied (no partial commit).
+  rejects.push_back(InstanceDelta{}
+                        .set_constraint_coeff(0, a0, 1.25)
+                        .set_constraint_coeff(0, grid.num_agents() + 7, 1.0));
+
+  for (std::size_t i = 0; i < rejects.size(); ++i) {
+    EXPECT_THROW(inc.apply(rejects[i]), CheckError) << "reject " << i;
+    expect_same_solver_state(inc, control);
+  }
+
+  // The solver must still be fully functional after the rejections.
+  InstanceDelta ok;
+  ok.set_constraint_coeff(0, a0, 1.375);
+  MaxMinInstance cur = grid;
+  cur.apply(ok);
+  inc.apply(ok);
+  const std::vector<double> oracle = solve_special_local_views(cur, inc.R());
+  for (std::size_t v = 0; v < oracle.size(); ++v) {
+    ASSERT_TRUE(same_bits(inc.x()[v], oracle[v])) << "agent " << v;
+  }
+}
+
+// Deterministic mid-flight abandonment: expire the deadline on its k-th
+// probe for every k until the apply commits.  After every abandonment the
+// solver must be bitwise the pre-apply state (proved against a control that
+// never applied anything); after the final commit it must be bitwise a
+// control that applied the delta once, cleanly.
+void run_deadline_sweep(const MaxMinInstance& base, const InstanceDelta& delta,
+                        std::int64_t max_probes) {
+  IncrementalSolver control_before(base);
+  IncrementalSolver control_after(base);
+  control_after.apply(delta);
+
+  IncrementalSolver inc(base);
+  bool committed = false;
+  std::int64_t aborts = 0;
+  for (std::int64_t k = 0; k < max_probes && !committed; ++k) {
+    const Deadline deadline = Deadline::at_check(k);
+    try {
+      inc.apply(delta, &deadline);
+      committed = true;
+    } catch (const DeadlineExceeded&) {
+      ++aborts;
+      expect_same_solver_state(inc, control_before);
+    }
+  }
+  ASSERT_TRUE(committed) << "apply never committed within " << max_probes
+                         << " probes";
+  EXPECT_GT(aborts, 0) << "at_check(0) should abort at the admission probe";
+  expect_same_solver_state(inc, control_after);
+}
+
+TEST(IncrementalSolverTransactional, DeadlineSweepCoefficientDelta) {
+  const MaxMinInstance grid = special_grid_instance({.rows = 4, .cols = 8}, 2);
+  const SpecialFormInstance sf(grid);
+  InstanceDelta delta;
+  delta.set_constraint_coeff(sf.arcs(0)[0].id, 0, 1.625);
+  delta.set_constraint_coeff(sf.arcs(0)[0].id, 0, 2.25);  // duplicate key
+  delta.set_constraint_coeff(sf.arcs(5)[0].id, 5, 0.75);
+  run_deadline_sweep(grid, delta, 200);
+}
+
+TEST(IncrementalSolverTransactional, DeadlineSweepStructuralDelta) {
+  const MaxMinInstance grid = special_grid_instance({.rows = 4, .cols = 8}, 2);
+  // A rewire: find a constraint whose member keeps another constraint.
+  ConstraintId row = -1;
+  AgentId lose = -1, gain = -1;
+  for (ConstraintId i = 0; i < grid.num_constraints() && row < 0; ++i) {
+    for (const Entry& e : grid.constraint_row(i)) {
+      if (grid.agent_constraints(e.agent).size() >= 2) {
+        row = i;
+        lose = e.agent;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(row, 0);
+  const auto r = grid.constraint_row(row);
+  for (AgentId v = 0; v < grid.num_agents() && gain < 0; ++v) {
+    if (v != r[0].agent && v != r[1].agent) gain = v;
+  }
+  InstanceDelta delta;
+  delta.remove_from_constraint(row, lose).add_to_constraint(row, gain, 1.5);
+  run_deadline_sweep(grid, delta, 400);
+}
+
+TEST(IncrementalSolverTransactional, DeadlineRequiresEngineL) {
+  const MaxMinInstance wheel = layered_instance(
+      {.delta_k = 2, .layers = 10, .width = 1, .twist = 0});
+  IncrementalSolver::Options opt;
+  opt.R = 2;
+  opt.engine = DynamicEngine::kMessagePassing;
+  IncrementalSolver inc(wheel, opt);
+  InstanceDelta delta;
+  delta.set_constraint_coeff(inc.special().arcs(0)[0].id, 0, 1.5);
+  const Deadline deadline = Deadline::at_check(1000);
+  EXPECT_THROW(inc.apply(delta, &deadline), CheckError);
+  inc.apply(delta);  // without a deadline the engine still works
+}
+
+// ---------------------------------------------------------------------------
+// Epoch fast-forward: the near-wrap renumbering path
+// ---------------------------------------------------------------------------
+
+// Fast-forwards the flood-epoch counter to just below the renumbering
+// threshold (0xFFFFFF00) and keeps editing: the counter must renumber
+// instead of CHECK-failing, and every update must stay bit-identical to the
+// from-scratch oracle (regression for the old hard CHECK at 0xFFFFFFF0,
+// which a long-lived serving process would eventually hit).
+TEST(IncrementalSolver, EpochFastForwardRenumbersAndStaysExact) {
+  const MaxMinInstance grid = special_grid_instance({.rows = 4, .cols = 8}, 2);
+  IncrementalSolver inc(grid);
+  MaxMinInstance cur = grid;
+  Rng rng(909);
+
+  inc.set_flood_epoch_for_test(0xFFFFFEFDu);  // 3 updates below the threshold
+  for (int step = 0; step < 8; ++step) {
+    const InstanceDelta delta =
+        random_special_delta(inc.special(), rng, /*allow_structural=*/true);
+    inc.apply(delta);
+    cur.apply(delta);
+    const std::vector<double> oracle = solve_special_local_views(cur, inc.R());
+    for (std::size_t v = 0; v < oracle.size(); ++v) {
+      ASSERT_TRUE(same_bits(inc.x()[v], oracle[v]))
+          << "step " << step << ", agent " << v;
+    }
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "gen/generators.hpp"
 #include "lp/io.hpp"
@@ -80,6 +82,91 @@ TEST(Io, RejectsUnknownDirective) {
 TEST(Io, RejectsDanglingAgentId) {
   std::istringstream in("maxminlp 1\nagents 2\nconstraint 0\n");
   EXPECT_THROW(read_instance(in), CheckError);
+}
+
+// Table-driven hostile-input corpus: read_instance is the one place
+// untrusted bytes enter the system, so EVERY malformed stream -- truncated,
+// garbage tokens, overflowing numbers, allocation bombs, semantic junk --
+// must throw the structured ParseError (with its line-numbered message),
+// never crash, loop, or surface a raw internal CheckError.  The ASan/UBSan
+// CI job runs this suite, so out-of-bounds parses would be caught even if
+// they happened to "work".
+TEST(Io, MalformedStreamCorpusThrowsParseError) {
+  struct Case {
+    const char* name;
+    const char* input;
+    ReadLimits limits = {};
+  };
+  const ReadLimits tiny{.max_agents = 8, .max_rows = 4, .max_row_entries = 3};
+  const std::vector<Case> corpus = {
+      {"empty stream", ""},
+      {"whitespace only", "   \n\t\n"},
+      {"comment only", "# nothing else\n"},
+      {"truncated magic", "maxminlp"},
+      {"magic with garbage version", "maxminlp banana\n"},
+      {"magic with huge version", "maxminlp 99999999999999999999\n"},
+      {"body before header", "agents 2\nmaxminlp 1\n"},
+      {"row before header", "constraint 0 1.0 1 1.0\nmaxminlp 1\n"},
+      {"agents without count", "maxminlp 1\nagents\n"},
+      {"agents garbage", "maxminlp 1\nagents lots\n"},
+      {"agents negative", "maxminlp 1\nagents -4\n"},
+      {"agents overflowing int64", "maxminlp 1\nagents 99999999999999999999\n"},
+      {"agents allocation bomb", "maxminlp 1\nagents 2000000000\n", tiny},
+      {"unknown directive", "maxminlp 1\nagents 2\nfrobnicate 1 2\n"},
+      {"empty constraint row", "maxminlp 1\nagents 2\nconstraint\n"},
+      {"truncated row: id without coeff",
+       "maxminlp 1\nagents 2\nconstraint 0 1.0 1\n"},
+      {"garbage agent id", "maxminlp 1\nagents 2\nconstraint zero 1.0\n"},
+      {"garbage coefficient", "maxminlp 1\nagents 2\nconstraint 0 fast\n"},
+      {"agent id overflowing int32",
+       "maxminlp 1\nagents 2\nconstraint 99999999999 1.0\n"},
+      {"binary garbage", "maxminlp 1\nagents 2\nconstraint \x01\x02\xff\n"},
+      {"row-count bomb",
+       "maxminlp 1\nagents 2\n"
+       "constraint 0 1.0\nconstraint 0 1.0\nconstraint 0 1.0\n"
+       "constraint 0 1.0\nconstraint 0 1.0\n",
+       tiny},
+      {"row-width bomb",
+       "maxminlp 1\nagents 8\nconstraint 0 1.0 1 1.0 2 1.0 3 1.0 4 1.0\n",
+       tiny},
+      // Semantic rejects: parse fine, but the instance is invalid -- the
+      // builder's CheckError must surface re-branded as ParseError.
+      {"agent id out of range",
+       "maxminlp 1\nagents 2\nconstraint 0 1.0 7 1.0\nobjective 0 1.0\n"},
+      {"negative coefficient",
+       "maxminlp 1\nagents 1\nconstraint 0 -1.0\nobjective 0 1.0\n"},
+      {"nan coefficient",
+       "maxminlp 1\nagents 1\nconstraint 0 nan\nobjective 0 1.0\n"},
+      {"duplicate agent in row",
+       "maxminlp 1\nagents 2\nconstraint 0 1.0 0 2.0\nobjective 0 1.0\n"},
+      {"agent without constraint",
+       "maxminlp 1\nagents 2\nconstraint 0 1.0\nobjective 0 1.0 1 1.0\n"},
+      {"agent without objective",
+       "maxminlp 1\nagents 2\nconstraint 0 1.0 1 1.0\nobjective 0 1.0\n"},
+  };
+  for (const Case& c : corpus) {
+    std::istringstream in(c.input);
+    try {
+      read_instance(in, c.limits);
+      FAIL() << c.name << ": malformed stream was accepted";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("error"), std::string::npos)
+          << c.name;
+    } catch (const std::exception& e) {
+      FAIL() << c.name << ": threw " << e.what()
+             << " instead of a ParseError";
+    }
+  }
+}
+
+// ParseError derives from CheckError, so legacy catch sites keep working;
+// the serving layer relies on the subtyping to map tenant-supplied streams
+// to structured rejections.
+TEST(Io, ParseErrorIsACheckError) {
+  std::istringstream in("maxminlp 2\n");
+  EXPECT_THROW(read_instance(in), ParseError);
+  std::istringstream in2("maxminlp 2\n");
+  EXPECT_THROW(read_instance(in2), CheckError);
 }
 
 TEST(Io, SaveLoadFile) {

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
+#include <vector>
 
 #include "core/solver_api.hpp"
 #include "core/view_solver.hpp"
 #include "dist/streaming.hpp"
 #include "gen/generators.hpp"
+#include "lp/delta.hpp"
 #include "lp/maxmin_solver.hpp"
 
 namespace locmm {
@@ -204,6 +207,169 @@ TEST(Api, LargerRNeverHurtsMuch) {
 TEST(Api, RejectsInvalidR) {
   const MaxMinInstance inst = path_instance(4);
   EXPECT_THROW(solve_local(inst, {.R = 1}), CheckError);
+}
+
+// --- LocalResolver strong exception safety --------------------------------
+//
+// resolve() promises that a rejected delta leaves the resolver bitwise
+// untouched: instance, solution, diagnostics and the delta-fast-path flag.
+// These tests diff the complete observable state against an identically
+// constructed control resolver after every rejected-delta shape, then prove
+// the resolver is still fully functional by applying a valid edit and
+// matching a scratch solve bitwise.
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool vectors_bit_equal(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void expect_bitwise_instance(const MaxMinInstance& a, const MaxMinInstance& b,
+                             const char* ctx) {
+  ASSERT_EQ(a.num_agents(), b.num_agents()) << ctx;
+  ASSERT_EQ(a.num_constraints(), b.num_constraints()) << ctx;
+  ASSERT_EQ(a.num_objectives(), b.num_objectives()) << ctx;
+  auto rows_equal = [&](auto ra, auto rb) {
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      if (ra[j].agent != rb[j].agent || !bits_equal(ra[j].coeff, rb[j].coeff))
+        return false;
+    }
+    return true;
+  };
+  for (ConstraintId i = 0; i < a.num_constraints(); ++i) {
+    EXPECT_TRUE(rows_equal(a.constraint_row(i), b.constraint_row(i)))
+        << ctx << ": constraint " << i;
+  }
+  for (ObjectiveId k = 0; k < a.num_objectives(); ++k) {
+    EXPECT_TRUE(rows_equal(a.objective_row(k), b.objective_row(k)))
+        << ctx << ": objective " << k;
+  }
+}
+
+void expect_bitwise_resolver_state(const LocalResolver& a,
+                                   const LocalResolver& b, const char* ctx) {
+  expect_bitwise_instance(a.instance(), b.instance(), ctx);
+  const LocalSolution& sa = a.solution();
+  const LocalSolution& sb = b.solution();
+  EXPECT_TRUE(vectors_bit_equal(sa.x, sb.x)) << ctx;
+  EXPECT_TRUE(vectors_bit_equal(sa.x_special, sb.x_special)) << ctx;
+  EXPECT_TRUE(bits_equal(sa.omega, sb.omega)) << ctx;
+  EXPECT_TRUE(bits_equal(sa.omega_special, sb.omega_special)) << ctx;
+  EXPECT_TRUE(bits_equal(sa.t_min_special, sb.t_min_special)) << ctx;
+  EXPECT_TRUE(bits_equal(sa.ratio_factor, sb.ratio_factor)) << ctx;
+  EXPECT_TRUE(bits_equal(sa.guarantee, sb.guarantee)) << ctx;
+  EXPECT_EQ(sa.view_radius, sb.view_radius) << ctx;
+  EXPECT_EQ(a.last_resolve_was_delta(), b.last_resolve_was_delta()) << ctx;
+}
+
+TEST(LocalResolverTransactional, RejectedDeltasLeaveStateUntouched) {
+  const MaxMinInstance inst = grid_instance({.rows = 3, .cols = 4}, 6);
+  const LocalParams params{.R = 2, .engine = LocalEngine::kLocalViews};
+  LocalResolver resolver(inst, params);
+  const LocalResolver control(inst, params);
+
+  const AgentId a0 = inst.constraint_row(0)[0].agent;
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // An agent absent from constraint 0, for the absent-edit shapes.
+  AgentId absent = -1;
+  for (AgentId v = 0; v < inst.num_agents(); ++v) {
+    bool in_row = false;
+    for (const Entry& e : inst.constraint_row(0)) in_row |= (e.agent == v);
+    if (!in_row) {
+      absent = v;
+      break;
+    }
+  }
+  ASSERT_GE(absent, 0);
+
+  struct Shape {
+    const char* name;
+    InstanceDelta delta;
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"constraint row out of range",
+                    InstanceDelta{}.set_constraint_coeff(
+                        inst.num_constraints() + 3, a0, 1.0)});
+  shapes.push_back({"objective row out of range",
+                    InstanceDelta{}.set_objective_coeff(
+                        inst.num_objectives(), a0, 1.0)});
+  shapes.push_back(
+      {"agent out of range",
+       InstanceDelta{}.set_constraint_coeff(0, inst.num_agents() + 1, 1.0)});
+  shapes.push_back({"negative agent id",
+                    InstanceDelta{}.set_objective_coeff(0, -1, 1.0)});
+  shapes.push_back({"negative coefficient",
+                    InstanceDelta{}.set_constraint_coeff(0, a0, -1.0)});
+  shapes.push_back(
+      {"nan coefficient", InstanceDelta{}.set_constraint_coeff(0, a0, kNan)});
+  shapes.push_back({"infinite coefficient on add",
+                    InstanceDelta{}.add_to_constraint(0, absent, kInf)});
+  shapes.push_back({"coefficient edit on absent entry",
+                    InstanceDelta{}.set_constraint_coeff(0, absent, 1.0)});
+  shapes.push_back({"remove of absent entry",
+                    InstanceDelta{}.remove_from_constraint(0, absent)});
+  shapes.push_back({"duplicate add",
+                    InstanceDelta{}.add_to_constraint(0, a0, 1.0)});
+  {
+    // Emptying a row entirely: every member of constraint 0 removed.
+    InstanceDelta d;
+    for (const Entry& e : inst.constraint_row(0)) {
+      d.remove_from_constraint(0, e.agent);
+    }
+    shapes.push_back({"row emptied", d});
+  }
+  shapes.push_back(
+      {"valid edit plus bad edit rejects the whole batch",
+       InstanceDelta{}
+           .set_constraint_coeff(0, a0, 1.25)
+           .set_constraint_coeff(inst.num_constraints(), a0, 1.0)});
+
+  for (const Shape& s : shapes) {
+    EXPECT_THROW(resolver.resolve(s.delta), CheckError) << s.name;
+    expect_bitwise_resolver_state(resolver, control, s.name);
+  }
+
+  // The resolver is still fully functional: a valid coefficient edit takes
+  // the delta fast path and lands bitwise on the scratch solve of the
+  // edited instance.
+  InstanceDelta good;
+  good.set_constraint_coeff(0, a0, 1.375);
+  const LocalSolution& sol = resolver.resolve(good);
+  EXPECT_TRUE(resolver.last_resolve_was_delta());
+  const LocalSolution scratch = solve_local(resolver.instance(), params);
+  EXPECT_TRUE(vectors_bit_equal(sol.x, scratch.x));
+  EXPECT_TRUE(bits_equal(sol.omega, scratch.omega));
+}
+
+TEST(LocalResolverTransactional, RejectionsAreStateless) {
+  // A rejection must not leak into subsequent resolves: interleave rejected
+  // and valid edits and check the survivor sequence alone determines the
+  // final state, by replaying it on a fresh resolver.
+  const MaxMinInstance inst = random_general({.num_agents = 10}, 17);
+  const LocalParams params{.R = 2, .engine = LocalEngine::kLocalViews};
+  LocalResolver noisy(inst, params);
+  LocalResolver clean(inst, params);
+
+  const AgentId a0 = inst.constraint_row(0)[0].agent;
+  for (int step = 0; step < 4; ++step) {
+    InstanceDelta bad;
+    bad.set_constraint_coeff(inst.num_constraints() + step, a0, 1.0);
+    EXPECT_THROW(noisy.resolve(bad), CheckError);
+
+    InstanceDelta good;
+    good.set_constraint_coeff(0, a0, 1.0 + 0.125 * (step + 1));
+    noisy.resolve(good);
+    clean.resolve(good);
+    expect_bitwise_resolver_state(noisy, clean, "after step");
+  }
 }
 
 TEST(Api, ZeroOptimumInstanceHandled) {
