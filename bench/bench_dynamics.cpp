@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/local_solver.hpp"
+#include "core/solver_api.hpp"
 #include "core/special_form.hpp"
 #include "core/view_solver.hpp"
 #include "dynamic/incremental_solver.hpp"
@@ -256,6 +257,130 @@ std::string json_dist_row(const DistRunResult& r) {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Membership-churn rows: structural edits through the id-map fast path
+// ---------------------------------------------------------------------------
+
+struct ChurnResult {
+  std::string generator;
+  std::int32_t R = 0;
+  std::int64_t agents = 0;
+  std::int64_t edits = 0;
+  double cold_ms = 0.0;
+  double fast_ms = 0.0;    // mean per-edit id-map fast-path resolve
+  double reinit_ms = 0.0;  // mean per-edit cache-warm re-initialise
+  double speedup = 0.0;    // reinit_ms / fast_ms
+  double agents_dirty = 0.0;
+  bool identical = true;  // fast path == re-init oracle, bitwise
+};
+
+// A single-membership structural edit: remove the FIRST entry of a random
+// |Vi| = 2 constraint row and re-add it with a fresh coefficient.  The
+// re-add appends at the row end, so the port order changes and the edit is
+// genuinely structural -- the differential oracle cannot absorb it as a
+// coefficient diff and must re-initialise.
+InstanceDelta churn_edit(const MaxMinInstance& cur, Rng& rng) {
+  const auto i = static_cast<ConstraintId>(
+      rng.below(static_cast<std::uint64_t>(cur.num_constraints())));
+  const AgentId v = cur.constraint_row(i)[0].agent;
+  InstanceDelta delta;
+  delta.remove_from_constraint(i, v);
+  delta.add_to_constraint(i, v, rng.uniform(0.5, 2.0));
+  return delta;
+}
+
+ChurnResult run_churn_workload(const std::string& name,
+                               const MaxMinInstance& inst, std::int32_t R,
+                               std::int32_t edits, std::uint64_t seed) {
+  ChurnResult res;
+  res.generator = name;
+  res.R = R;
+  res.agents = inst.num_agents();
+  res.edits = edits;
+
+  LocalParams fast_params;
+  fast_params.R = R;
+  fast_params.engine = LocalEngine::kLocalViews;
+  LocalParams reinit_params = fast_params;
+  reinit_params.map_structural_deltas = false;
+
+  Timer cold_timer;
+  LocalResolver fast(inst, fast_params);
+  res.cold_ms = cold_timer.millis();
+  LocalResolver reinit(inst, reinit_params);
+  // Side probe on the same (natively special) instance: harvests the
+  // dirty-ball size of each mapped delta, which the resolver does not
+  // export.  Untimed.
+  IncrementalSolver::Options popt;
+  popt.R = R;
+  IncrementalSolver probe(inst, popt);
+
+  MaxMinInstance cur = inst;
+  Rng rng(seed);
+  for (std::int32_t e = 0; e < edits; ++e) {
+    const InstanceDelta delta = churn_edit(cur, rng);
+    cur.apply(delta);
+
+    Timer fast_timer;
+    fast.resolve(delta);
+    res.fast_ms += fast_timer.millis();
+    LOCMM_CHECK_MSG(fast.last_resolve_was_delta(),
+                    "membership edit fell off the id-map fast path on "
+                        << name << " at R = " << R);
+
+    Timer reinit_timer;
+    reinit.resolve(delta);
+    res.reinit_ms += reinit_timer.millis();
+    LOCMM_CHECK_MSG(!reinit.last_resolve_was_delta(),
+                    "re-init oracle unexpectedly took a delta path on "
+                        << name << " at R = " << R);
+
+    probe.apply(delta);
+    res.agents_dirty += static_cast<double>(probe.last_update().agents_dirty);
+
+    const std::vector<double>& xf = fast.solution().x;
+    const std::vector<double>& xr = reinit.solution().x;
+    for (std::size_t i = 0; i < xf.size(); ++i) {
+      if (std::memcmp(&xf[i], &xr[i], sizeof(double)) != 0) {
+        res.identical = false;
+        std::fprintf(stderr,
+                     "MISMATCH churn %s R=%d edit=%d agent=%zu: %.17g vs "
+                     "%.17g\n",
+                     name.c_str(), R, e, i, xf[i], xr[i]);
+      }
+    }
+  }
+  const double n = static_cast<double>(edits);
+  res.fast_ms /= n;
+  res.reinit_ms /= n;
+  res.agents_dirty /= n;
+  res.speedup = res.fast_ms > 0.0 ? res.reinit_ms / res.fast_ms : 0.0;
+  LOCMM_CHECK_MSG(res.identical,
+                  "id-map fast path diverged from the cache-warm re-init "
+                  "(== scratch) solve on "
+                      << name << " at R = " << R);
+  return res;
+}
+
+std::string json_churn_row(const ChurnResult& r) {
+  std::string s = "    {";
+  s += "\"generator\": \"" + r.generator + "\"";
+  s += ", \"engine\": \"L\"";
+  s += ", \"edit\": \"membership\"";
+  s += ", \"R\": " + std::to_string(r.R);
+  s += ", \"agents\": " + std::to_string(r.agents);
+  s += ", \"edits\": " + std::to_string(r.edits);
+  s += ", \"cold_ms\": " + std::to_string(r.cold_ms);
+  s += ", \"incremental_ms\": " + std::to_string(r.fast_ms);
+  s += ", \"reinit_ms\": " + std::to_string(r.reinit_ms);
+  s += ", \"speedup\": " + std::to_string(r.speedup);
+  s += ", \"agents_dirty\": " + std::to_string(r.agents_dirty);
+  s += ", \"bit_identical\": ";
+  s += r.identical ? "true" : "false";
+  s += "}";
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -397,6 +522,59 @@ int main(int argc, char** argv) {
             << dist_runs[i + 1].agents);
   }
 
+  // Membership-churn rows: single-membership structural edits resolved
+  // through the pipeline's persistent id map (LocalResolver fast path)
+  // against the cache-warm re-initialise the same resolver falls back to
+  // with the knob off.  TWO sizes per R: the per-edit dirty ball (and hence
+  // the fresh work) must not move while n doubles -- the structural edits
+  // are O(ball), independent of instance size.
+  const MaxMinInstance churn_small = layered_instance(
+      {.delta_k = 2, .layers = smoke ? 60 : 2500, .width = 1, .twist = 0});
+  const MaxMinInstance churn_large = layered_instance(
+      {.delta_k = 2, .layers = smoke ? 120 : 5000, .width = 1, .twist = 0});
+  Table churn_table(
+      "E9c: membership churn -- id-map structural deltas vs cache-warm "
+      "re-init (engine L, wheel, 1 thread)");
+  churn_table.columns({"R", "agents", "cold_ms", "fast_ms", "reinit_ms",
+                       "speedup", "dirty", "identical"});
+  std::vector<ChurnResult> churn_runs;
+  for (std::int32_t R = 2; R <= 3; ++R) {
+    for (const MaxMinInstance* inst : {&churn_small, &churn_large}) {
+      std::fprintf(stderr, "running churn R=%d (%d agents)...\n", R,
+                   inst->num_agents());
+      const ChurnResult r =
+          run_churn_workload("cycle_wheel", *inst, R, edits,
+                             3000 + static_cast<std::uint64_t>(R));
+      churn_table.row({Table::cell(r.R), Table::cell(r.agents),
+                       Table::cell(r.cold_ms, 1), Table::cell(r.fast_ms, 2),
+                       Table::cell(r.reinit_ms, 1), Table::cell(r.speedup, 1),
+                       Table::cell(r.agents_dirty, 0),
+                       Table::cell(r.identical ? "yes" : "NO")});
+      churn_runs.push_back(r);
+    }
+  }
+  churn_table.note("fast = resolve through PipelineIdMap::map_delta (no "
+                   "pipeline re-run, O(ball) splice); reinit = the legacy "
+                   "rebuild with the kept view-class cache");
+  churn_table.note("ISSUE target: speedup >= 10 at 10k agents, R in {2, 3}; "
+                   "dirty-ball size equal across the two sizes of each R");
+  churn_table.print();
+  for (std::size_t i = 0; i + 1 < churn_runs.size(); i += 2) {
+    LOCMM_CHECK_MSG(
+        churn_runs[i].agents_dirty == churn_runs[i + 1].agents_dirty,
+        "per-edit dirty ball scaled with n: "
+            << churn_runs[i].agents_dirty << " at " << churn_runs[i].agents
+            << " agents vs " << churn_runs[i + 1].agents_dirty << " at "
+            << churn_runs[i + 1].agents);
+    if (!smoke) {
+      LOCMM_CHECK_MSG(churn_runs[i + 1].speedup >= 10.0,
+                      "membership-edit speedup "
+                          << churn_runs[i + 1].speedup << " < 10 at "
+                          << churn_runs[i + 1].agents << " agents, R = "
+                          << churn_runs[i + 1].R);
+    }
+  }
+
   std::string json = "{\n  \"bench\": \"dynamics\",\n  \"mode\": \"";
   json += smoke ? "smoke" : "full";
   json += "\",\n  \"runs\": [\n";
@@ -406,7 +584,11 @@ int main(int argc, char** argv) {
   }
   for (std::size_t i = 0; i < dist_runs.size(); ++i) {
     json += json_dist_row(dist_runs[i]);
-    json += i + 1 < dist_runs.size() ? ",\n" : "\n";
+    json += ",\n";
+  }
+  for (std::size_t i = 0; i < churn_runs.size(); ++i) {
+    json += json_churn_row(churn_runs[i]);
+    json += i + 1 < churn_runs.size() ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
 

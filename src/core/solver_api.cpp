@@ -218,6 +218,32 @@ const LocalSolution& LocalResolver::resolve(const InstanceDelta& delta) {
                                                    " more)"
                                              : ""));
 
+  // Id-map fast path: translate the batch straight into special-form
+  // coordinates through the pipeline's persistent id map -- no pipeline
+  // re-run, no instance snapshot, no diff; O(ball) end to end.  Ordering
+  // carries the strong guarantee without any rollback state: map_delta is
+  // const and reads only pre-edit state, inc_->apply is transactional (a
+  // throw leaves the solver bitwise untouched and propagates with the
+  // resolver equally untouched), and everything after it is infallible --
+  // inst_.apply was admitted above, pipeline_.special is bitwise equal to
+  // the solver's instance so the same mapped delta applies, and the gamma
+  // fold + solution refresh are pure writes.
+  if (params_.map_structural_deltas) {
+    const std::optional<MappedDelta> mapped =
+        pipeline_.id_map.map_delta(delta, inst_);
+    if (mapped.has_value()) {
+      inc_->apply(mapped->special);
+      inst_.apply(delta);
+      pipeline_.special.apply(mapped->special);
+      pipeline_.id_map.apply_gamma_updates(*mapped);
+      last_was_delta_ = true;
+      sol_.x_special = inc_->x();
+      sol_.net_stats = inc_->last_update().net;
+      finish_solution(inst_, pipeline_, params_.R, sol_);
+      return sol_;
+    }
+  }
+
   // Strong guarantee for deeper failures too: snapshot the members a failed
   // re-solve would otherwise leave half-updated (O(nnz), the price the old
   // rejection-safety copy paid on every call -- now only both-ways cheap:

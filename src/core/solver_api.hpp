@@ -44,6 +44,14 @@ struct LocalParams {
   LocalEngine engine = LocalEngine::kCentralized;
   TSearchOptions t_search = {};
   std::size_t threads = 1;  // 0 = all hardware threads
+  // LocalResolver only: route resolve() deltas through the pipeline's
+  // persistent id map (PipelineIdMap::map_delta) whenever the edit meets
+  // the fast-path conditions, turning an original-instance membership edit
+  // into an O(ball) special-form delta with NO pipeline re-run.  Off, every
+  // delta takes the legacy re-pipeline + diff / re-initialise path -- the
+  // differential oracle the tests and benches compare the fast path
+  // against.  Solutions are bitwise identical either way.
+  bool map_structural_deltas = true;
   // Optional seeded fault-injection scenario (dist/fault.hpp; not owned,
   // must outlive the call).  Engines M / S only: the distributed run (or
   // LocalResolver's distributed cold solve) executes under the scenario
@@ -97,21 +105,30 @@ LocalSolution solve_local(const MaxMinInstance& inst,
 
 // Incremental counterpart of solve_local for long-lived, slowly-mutating
 // instances (sensor fields with drifting link qualities, allocation
-// networks under churn).  Construction performs one engine-L cold solve;
+// networks under churn).  Construction performs one cold solve;
 // resolve(delta) then applies an edit batch addressed against the ORIGINAL
-// instance and re-solves at dirty-ball cost:
+// instance and re-solves at dirty-ball cost.  Three tiers, tried in order:
 //
-//   * the edited original is re-run through the (cheap, deterministic) §4
-//     pipeline and the special-form outputs are diffed (lp/delta.hpp:
-//     diff_instances) -- a coefficient edit surfaces as a small special-form
-//     coefficient delta, which the IncrementalSolver (src/dynamic) absorbs
-//     by re-evaluating only the radius-D(R) ball around the change;
-//   * structural edits (membership add/remove) shift the pipeline's output
-//     numbering, so the special-form instances stop being diffable; the
-//     resolver then re-initialises its IncrementalSolver against the new
-//     special form while KEEPING the cross-solve ViewClassCache, so every
-//     view class ever evaluated is still served by a colour-keyed lookup
-//     and only genuinely new classes pay for an evaluation.
+//   * id-map fast path (LocalParams::map_structural_deltas, the default):
+//     the pipeline's persistent old-id -> new-id map
+//     (transform.hpp: PipelineIdMap) translates the batch -- membership
+//     add/remove AND coefficient edits alike -- straight into a special-form
+//     delta whenever every touched id provably leaves the §4 numbering
+//     fixed (non-gadget size-2 constraint rows at zero growth,
+//     singly-imaged agents with |Kv| preserved, non-singleton objective
+//     rows).  No pipeline re-run, no O(n) anything: the IncrementalSolver
+//     (src/dynamic) absorbs the mapped delta by re-evaluating only the
+//     radius-D(R) ball around the change, and the id map's gamma entries
+//     absorb any objective-coefficient rescale;
+//   * re-pipeline + diff: edits outside the fast path re-run the (cheap,
+//     deterministic) §4 pipeline on the edited original and diff the
+//     special-form outputs (lp/delta.hpp: diff_instances) into a
+//     coefficient delta for the same dirty-ball machinery;
+//   * re-initialise: when the pipeline's numbering genuinely shifted (the
+//     diff fails), the resolver rebuilds its IncrementalSolver against the
+//     new special form while KEEPING the cross-solve ViewClassCache, so
+//     every view class ever evaluated is still served by a colour-keyed
+//     lookup and only genuinely new classes pay for an evaluation.
 //
 // LocalParams::engine selects the incremental realisation: kLocalViews
 // re-solves through the engine-L dirty-ball machinery; kMessagePassing /
@@ -146,9 +163,13 @@ class LocalResolver {
   // the full state after every rejected-delta shape).
   const LocalSolution& resolve(const InstanceDelta& delta);
 
-  // Whether the last resolve() took the special-form delta fast path
-  // (coefficient edits) or re-initialised against the rebuilt pipeline
-  // (structural edits; still cache-warm).
+  // Whether the last resolve() fed the IncrementalSolver a special-form
+  // delta -- the id-map fast path (structural or coefficient edits inside
+  // its conditions) or the re-pipeline + diff path -- as opposed to
+  // re-initialising against a renumbered pipeline (still cache-warm).
+  // With map_structural_deltas, membership edits on id-stable regions
+  // report true; only numbering-shifting edits (gadget-adjacent rows,
+  // |Kv| changes, splits) fall back to false.
   bool last_resolve_was_delta() const { return last_was_delta_; }
 
  private:

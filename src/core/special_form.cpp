@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <sstream>
+#include <unordered_set>
 
 #include "lp/delta.hpp"
 #include "transform/transform.hpp"
@@ -23,54 +24,102 @@ void SpecialFormInstance::rebuild_derived() {
   objective_.resize(n);
   inv_cap_.resize(n);
   t_upper_.resize(n);
-  sibling_offsets_.assign(n + 1, 0);
-  arc_offsets_.assign(n + 1, 0);
+  siblings_.clear();
+  arcs_.clear();
 
+  std::vector<AgentId> sib;
+  std::vector<ConstraintArc> row_arcs;
   for (AgentId v = 0; v < inst.num_agents(); ++v) {
     const auto sv = static_cast<std::size_t>(v);
     const ObjectiveId k = inst.agent_objectives(v)[0].row;
     objective_[sv] = k;
-    sibling_offsets_[sv + 1] =
-        sibling_offsets_[sv] +
-        static_cast<std::int64_t>(inst.objective_row(k).size()) - 1;
-    arc_offsets_[sv + 1] =
-        arc_offsets_[sv] +
-        static_cast<std::int64_t>(inst.agent_constraints(v).size());
-  }
-  siblings_.resize(static_cast<std::size_t>(sibling_offsets_.back()));
-  arcs_.resize(static_cast<std::size_t>(arc_offsets_.back()));
 
-  for (AgentId v = 0; v < inst.num_agents(); ++v) {
-    const auto sv = static_cast<std::size_t>(v);
     // Siblings in the objective row's port order.
-    auto spos = static_cast<std::size_t>(sibling_offsets_[sv]);
-    for (const Entry& e : inst.objective_row(objective_[sv])) {
-      if (e.agent != v) siblings_[spos++] = e.agent;
+    sib.clear();
+    for (const Entry& e : inst.objective_row(k)) {
+      if (e.agent != v) sib.push_back(e.agent);
     }
-    LOCMM_CHECK(spos == static_cast<std::size_t>(sibling_offsets_[sv + 1]));
+    siblings_.append_row(sib);
 
     // Constraint arcs in the agent's port order.
-    auto apos = static_cast<std::size_t>(arc_offsets_[sv]);
+    row_arcs.clear();
     double cap = std::numeric_limits<double>::infinity();
     for (const Incidence& inc : inst.agent_constraints(v)) {
       const auto row = inst.constraint_row(inc.row);
       LOCMM_CHECK(row.size() == 2);
       const Entry& other = (row[0].agent == v) ? row[1] : row[0];
       LOCMM_CHECK(other.agent != v);
-      arcs_[apos++] = {inc.row, inc.coeff, other.agent, other.coeff};
+      row_arcs.push_back({inc.row, inc.coeff, other.agent, other.coeff});
       cap = std::min(cap, 1.0 / inc.coeff);
     }
+    arcs_.append_row(row_arcs);
     inv_cap_[sv] = cap;
   }
 
   // t-search upper bound: own capacity plus siblings' capacities, in port
   // order (matches the view-tree evaluation order of engine L).
   for (AgentId v = 0; v < inst.num_agents(); ++v) {
-    const auto sv = static_cast<std::size_t>(v);
-    double hi = inv_cap_[sv];
-    for (AgentId w : siblings(v)) hi += inv_cap_[static_cast<std::size_t>(w)];
-    t_upper_[sv] = hi;
+    recompute_t_upper(v);
   }
+}
+
+void SpecialFormInstance::recompute_agent(AgentId v) {
+  const auto sv = static_cast<std::size_t>(v);
+  const ObjectiveId k = inst_.agent_objectives(v)[0].row;
+  objective_[sv] = k;
+
+  std::vector<AgentId> sib;
+  for (const Entry& e : inst_.objective_row(k)) {
+    if (e.agent != v) sib.push_back(e.agent);
+  }
+  siblings_.assign_row(sv, sib);
+
+  std::vector<ConstraintArc> row_arcs;
+  double cap = std::numeric_limits<double>::infinity();
+  for (const Incidence& inc : inst_.agent_constraints(v)) {
+    const auto row = inst_.constraint_row(inc.row);
+    LOCMM_CHECK(row.size() == 2);
+    const Entry& other = (row[0].agent == v) ? row[1] : row[0];
+    LOCMM_CHECK(other.agent != v);
+    row_arcs.push_back({inc.row, inc.coeff, other.agent, other.coeff});
+    cap = std::min(cap, 1.0 / inc.coeff);
+  }
+  arcs_.assign_row(sv, row_arcs);
+  inv_cap_[sv] = cap;
+}
+
+void SpecialFormInstance::recompute_t_upper(AgentId v) {
+  const auto sv = static_cast<std::size_t>(v);
+  double hi = inv_cap_[sv];
+  for (AgentId w : siblings(v)) hi += inv_cap_[static_cast<std::size_t>(w)];
+  t_upper_[sv] = hi;
+}
+
+std::vector<AgentId> SpecialFormInstance::dirty_closure(
+    const InstanceDelta& delta) const {
+  std::unordered_set<std::uint64_t> rows_seen;
+  std::vector<AgentId> s0;
+  delta.for_each_touched_edge([&](RowKind k, std::int32_t row, AgentId agent) {
+    s0.push_back(agent);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(k == RowKind::kObjective) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(row));
+    if (!rows_seen.insert(key).second) return;
+    const auto entries = k == RowKind::kConstraint ? inst_.constraint_row(row)
+                                                   : inst_.objective_row(row);
+    for (const Entry& e : entries) s0.push_back(e.agent);
+  });
+  std::sort(s0.begin(), s0.end());
+  s0.erase(std::unique(s0.begin(), s0.end()), s0.end());
+
+  std::vector<AgentId> dirty = s0;
+  for (const AgentId v : s0) {
+    const ObjectiveId k = objective_[static_cast<std::size_t>(v)];
+    for (const Entry& e : inst_.objective_row(k)) dirty.push_back(e.agent);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  return dirty;
 }
 
 std::vector<std::string> SpecialFormInstance::check_applicable(
@@ -144,6 +193,34 @@ std::vector<std::string> SpecialFormInstance::check_applicable(
   return out;
 }
 
+SpecialFormPatch SpecialFormInstance::snapshot_for(
+    const InstanceDelta& delta) const {
+  std::vector<ConstraintId> cons;
+  std::vector<ObjectiveId> objs;
+  std::vector<AgentId> agents;
+  delta.for_each_touched_edge([&](RowKind k, std::int32_t row, AgentId agent) {
+    (k == RowKind::kConstraint ? cons : objs).push_back(row);
+    agents.push_back(agent);
+  });
+  auto dedup = [](auto& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(cons);
+  dedup(objs);
+  dedup(agents);
+  SpecialFormPatch p;
+  p.inst = inst_.snapshot(cons, objs, agents);
+  p.dirty = dirty_closure(delta);
+  return p;
+}
+
+void SpecialFormInstance::restore(const SpecialFormPatch& patch) {
+  inst_.restore(patch.inst);
+  for (const AgentId v : patch.dirty) recompute_agent(v);
+  for (const AgentId v : patch.dirty) recompute_t_upper(v);
+}
+
 void SpecialFormInstance::apply(const InstanceDelta& delta) {
   // Admit-then-mutate (same shape as MaxMinInstance::apply): once the batch
   // passes the special-form dry run, nothing below can fail, so a rejected
@@ -158,36 +235,42 @@ void SpecialFormInstance::apply(const InstanceDelta& delta) {
                                                    " more)"
                                              : ""));
 
-  inst_.apply(delta);
   if (delta.structural()) {
-    // Membership edits move degrees/ports; rebuild the derived arrays from
-    // the edited instance (O(n) small-constant passes, including the full
-    // special-form re-check).
-    rebuild_derived();
+    // O(ball) splice: the dirty closure is computed against the pre-edit
+    // instance (the post-edit members it misses are all named in the batch,
+    // hence already in it), then every dirty agent's derived rows are
+    // recomputed from the edited instance with the exact per-agent procedure
+    // of rebuild_derived -- bitwise identical to a full rebuild.  Admission
+    // above already validated the special-form contract on everything the
+    // batch touches, which is the induction step replacing the constructor's
+    // whole-instance check_special_form.
+    const std::vector<AgentId> dirty = dirty_closure(delta);
+    inst_.apply(delta);
+    for (const AgentId v : dirty) recompute_agent(v);
+    for (const AgentId v : dirty) recompute_t_upper(v);
     return;
   }
+  inst_.apply(delta);
 
   // Coefficient-only: patch the touched arcs, then the capacity-derived
   // values of the affected agents and their objective rows.
   std::vector<AgentId> touched;  // agents whose inv_cap may have changed
   for (const CoeffEdit& e : delta.coeff_edits) {
     if (e.kind != RowKind::kConstraint) continue;  // objective edits: c == 1
-    const auto sv = static_cast<std::size_t>(e.agent);
     AgentId partner = -1;
-    for (std::int64_t j = arc_offsets_[sv]; j < arc_offsets_[sv + 1]; ++j) {
-      if (arcs_[static_cast<std::size_t>(j)].id == e.row) {
-        arcs_[static_cast<std::size_t>(j)].a_self = e.coeff;
-        partner = arcs_[static_cast<std::size_t>(j)].partner;
+    for (ConstraintArc& arc : arcs_.mutable_row(static_cast<std::size_t>(e.agent))) {
+      if (arc.id == e.row) {
+        arc.a_self = e.coeff;
+        partner = arc.partner;
         break;
       }
     }
     LOCMM_CHECK_MSG(partner >= 0, "coefficient edit addresses constraint "
                                       << e.row << " not incident to agent "
                                       << e.agent);
-    const auto sp = static_cast<std::size_t>(partner);
-    for (std::int64_t j = arc_offsets_[sp]; j < arc_offsets_[sp + 1]; ++j) {
-      if (arcs_[static_cast<std::size_t>(j)].id == e.row) {
-        arcs_[static_cast<std::size_t>(j)].a_partner = e.coeff;
+    for (ConstraintArc& arc : arcs_.mutable_row(static_cast<std::size_t>(partner))) {
+      if (arc.id == e.row) {
+        arc.a_partner = e.coeff;
         break;
       }
     }
@@ -197,12 +280,11 @@ void SpecialFormInstance::apply(const InstanceDelta& delta) {
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
   for (const AgentId v : touched) {
-    const auto sv = static_cast<std::size_t>(v);
     double cap = std::numeric_limits<double>::infinity();
-    for (std::int64_t j = arc_offsets_[sv]; j < arc_offsets_[sv + 1]; ++j) {
-      cap = std::min(cap, 1.0 / arcs_[static_cast<std::size_t>(j)].a_self);
+    for (const ConstraintArc& arc : arcs(v)) {
+      cap = std::min(cap, 1.0 / arc.a_self);
     }
-    inv_cap_[sv] = cap;
+    inv_cap_[static_cast<std::size_t>(v)] = cap;
   }
 
   // t_search_upper sums inv_cap over the whole objective row, so every
@@ -216,12 +298,7 @@ void SpecialFormInstance::apply(const InstanceDelta& delta) {
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
   for (const ObjectiveId k : rows) {
     for (const Entry& e : inst_.objective_row(k)) {
-      const auto su = static_cast<std::size_t>(e.agent);
-      double hi = inv_cap_[su];
-      for (AgentId w : siblings(e.agent)) {
-        hi += inv_cap_[static_cast<std::size_t>(w)];
-      }
-      t_upper_[su] = hi;
+      recompute_t_upper(e.agent);
     }
   }
 }

@@ -7,8 +7,10 @@
 //     the partner n(v, i) on the other side (paper notation),
 //   * which objective k(v) owns v, and who are the siblings N(v),
 //   * what is min_{i in Iv} 1 / a_iv (the agent's capacity bound).
-// SpecialFormInstance precomputes all three as contiguous arrays in port
-// order, so the hot loops of engine C are cache-friendly index walks.
+// SpecialFormInstance precomputes all three as per-agent rows (slack CSR,
+// lp/spliced_rows.hpp) in port order, so the hot loops of engine C are
+// cache-friendly index walks and a structural edit splices only the rows of
+// the agents it dirties.
 //
 // Owns a copy of the underlying MaxMinInstance, so it can outlive (and be
 // safely constructed from) temporaries; instances are CSR arrays, so the
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "lp/instance.hpp"
+#include "lp/spliced_rows.hpp"
 
 namespace locmm {
 
@@ -31,6 +34,14 @@ struct ConstraintArc {
   double a_partner = 0.0;  // a_{i, n(v,i)}
 };
 
+// O(ball) undo record for SpecialFormInstance::apply: the instance-level
+// patch plus the set of agents whose derived rows the batch dirties (the
+// same closure apply() recomputes, so restore() is exactly symmetric).
+struct SpecialFormPatch {
+  InstancePatch inst;
+  std::vector<AgentId> dirty;
+};
+
 class SpecialFormInstance {
  public:
   // Checks the special-form contract (throws CheckError otherwise).
@@ -40,14 +51,17 @@ class SpecialFormInstance {
   // the derived arrays back in sync.  Coefficient-only deltas patch in
   // place: the touched arcs (a_self at the agent, a_partner at the partner),
   // then inv_cap and t_search_upper of the affected agents and their
-  // objective rows -- O(edits * row degree), independent of n.  Structural
-  // deltas (membership add/remove) rebuild the derived arrays from the
-  // edited instance -- O(n) with small constants, still negligible next to
-  // any solve; see src/dynamic/incremental_solver.hpp for the layer that
-  // keeps the *solve* ball-local either way.  The whole batch is admitted
-  // via check_applicable first and only a clean batch mutates, so apply has
-  // the strong exception guarantee: a rejected delta throws CheckError with
-  // the instance and every derived array bitwise unchanged.
+  // objective rows.  Structural deltas (membership add/remove) splice: the
+  // dirty closure -- agents named in the batch, members of every touched
+  // row, and members of those agents' objective rows -- gets its derived
+  // rows recomputed from the edited instance, bitwise identical to a full
+  // rebuild.  Either way the cost is O(batch * row degree), independent of
+  // n; admission induction (check_applicable validated every touched
+  // element) stands in for the constructor's whole-instance re-check.  The
+  // whole batch is admitted via check_applicable first and only a clean
+  // batch mutates, so apply has the strong exception guarantee: a rejected
+  // delta throws CheckError with the instance and every derived array
+  // bitwise unchanged.
   void apply(const InstanceDelta& delta);
 
   // Dry-run admission check (the special-form analogue of
@@ -60,6 +74,14 @@ class SpecialFormInstance {
   // Never mutates, never throws.
   std::vector<std::string> check_applicable(const InstanceDelta& delta) const;
 
+  // Captures the pre-edit state of everything `delta` touches (rows, agent
+  // incidence, derived rows' dirty closure) so a committed apply(delta) can
+  // be undone in O(ball): restore() writes the instance patch back and
+  // recomputes the derived rows of the recorded dirty set.  Snapshot before
+  // apply; restoring leaves the object bitwise at the snapshot state.
+  SpecialFormPatch snapshot_for(const InstanceDelta& delta) const;
+  void restore(const SpecialFormPatch& patch);
+
   const MaxMinInstance& instance() const { return inst_; }
   std::int32_t num_agents() const { return inst_.num_agents(); }
 
@@ -69,14 +91,12 @@ class SpecialFormInstance {
 
   // N(v) = V_k(v) \ {v}, in the objective row's port order.
   std::span<const AgentId> siblings(AgentId v) const {
-    return {siblings_.data() + sibling_offsets_[static_cast<std::size_t>(v)],
-            siblings_.data() + sibling_offsets_[static_cast<std::size_t>(v) + 1]};
+    return siblings_.row(static_cast<std::size_t>(v));
   }
 
   // Incident constraints in the agent's port order.
   std::span<const ConstraintArc> arcs(AgentId v) const {
-    return {arcs_.data() + arc_offsets_[static_cast<std::size_t>(v)],
-            arcs_.data() + arc_offsets_[static_cast<std::size_t>(v) + 1]};
+    return arcs_.row(static_cast<std::size_t>(v));
   }
 
   // min_{i in Iv} 1 / a_iv; every feasible x has x_v <= inv_cap(v).
@@ -92,16 +112,27 @@ class SpecialFormInstance {
   }
 
  private:
-  // Recomputes every derived array from inst_ (the constructor body; also
-  // the structural-delta path of apply).
+  // Recomputes every derived array from inst_ (the constructor body; the
+  // only full-instance pass left -- apply() never calls it).
   void rebuild_derived();
+
+  // Recomputes objective_/siblings_/arcs_/inv_cap_ of one agent from inst_
+  // (same per-agent procedure as rebuild_derived, so the result is bitwise
+  // identical to a fresh construction).
+  void recompute_agent(AgentId v);
+  void recompute_t_upper(AgentId v);
+
+  // The agents whose derived rows a structural batch can change: agents
+  // named in the batch, members (pre-state) of every touched row, plus the
+  // members of all those agents' (pre-state) objective rows -- the t_upper
+  // neighborhood.  Computed against the PRE-edit instance; the post-edit
+  // members are covered because every agent a batch adds is named in it.
+  std::vector<AgentId> dirty_closure(const InstanceDelta& delta) const;
 
   MaxMinInstance inst_;
   std::vector<ObjectiveId> objective_;
-  std::vector<std::int64_t> sibling_offsets_;
-  std::vector<AgentId> siblings_;
-  std::vector<std::int64_t> arc_offsets_;
-  std::vector<ConstraintArc> arcs_;
+  SplicedRows<AgentId> siblings_;
+  SplicedRows<ConstraintArc> arcs_;
   std::vector<double> inv_cap_;
   std::vector<double> t_upper_;
 };

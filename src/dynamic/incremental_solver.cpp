@@ -1,6 +1,7 @@
 #include "dynamic/incremental_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 #include "dist/gather.hpp"
 #include "dist/streaming.hpp"
 #include "support/hash.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace locmm {
@@ -160,14 +162,46 @@ void IncrementalSolver::collect_dirty(const CommGraph& g,
     bfs_cur_.push_back(s);
     take_agent(s);
   }
+  // Large frontiers expand data-parallel: each frontier node claims its
+  // unstamped neighbours with an atomic exchange on the node stamp (exactly
+  // one claimant observes the pre-epoch value), writes them into its own
+  // bucket, and the buckets concatenate serially.  The claimed SET per level
+  // equals the serial sweep's (a node adjacent to several frontier nodes is
+  // claimed exactly once, at the first level that reaches it), and `dirty`
+  // is consumed sorted by the callers, so the flood result is bitwise
+  // independent of the thread count.
+  constexpr std::size_t kParallelFrontier = 256;
+  std::vector<std::vector<NodeId>> buckets;
   for (std::int32_t dist = 0; dist < D_ && !bfs_cur_.empty(); ++dist) {
-    for (const NodeId u : bfs_cur_) {
-      for (const HalfEdge& e : g.neighbors(u)) {
-        auto& stamp = node_stamp_[static_cast<std::size_t>(e.to)];
-        if (stamp == flood_epoch) continue;
-        stamp = flood_epoch;
-        bfs_next_.push_back(e.to);
-        take_agent(e.to);
+    if (opt_.threads > 1 && bfs_cur_.size() >= kParallelFrontier) {
+      buckets.resize(bfs_cur_.size());
+      parallel_for(bfs_cur_.size(), opt_.threads, [&](std::size_t i) {
+        auto& out = buckets[i];
+        out.clear();
+        for (const HalfEdge& e : g.neighbors(bfs_cur_[i])) {
+          std::atomic_ref<std::uint32_t> stamp(
+              node_stamp_[static_cast<std::size_t>(e.to)]);
+          if (stamp.exchange(flood_epoch, std::memory_order_relaxed) !=
+              flood_epoch) {
+            out.push_back(e.to);
+          }
+        }
+      });
+      for (const auto& bucket : buckets) {
+        for (const NodeId u : bucket) {
+          bfs_next_.push_back(u);
+          take_agent(u);
+        }
+      }
+    } else {
+      for (const NodeId u : bfs_cur_) {
+        for (const HalfEdge& e : g.neighbors(u)) {
+          auto& stamp = node_stamp_[static_cast<std::size_t>(e.to)];
+          if (stamp == flood_epoch) continue;
+          stamp = flood_epoch;
+          bfs_next_.push_back(e.to);
+          take_agent(e.to);
+        }
       }
     }
     bfs_cur_.swap(bfs_next_);
@@ -244,7 +278,7 @@ void IncrementalSolver::apply_distributed(const std::vector<NodeId>& seeds,
   Timer apply_timer;
   sf_.apply(delta);
   if (delta.structural()) {
-    g_ = CommGraph(sf_.instance());
+    g_.apply_delta(delta, sf_.instance());
     LOCMM_CHECK(static_cast<std::size_t>(g_.num_nodes()) ==
                 node_stamp_.size());
     net_->refresh_topology();
@@ -321,14 +355,14 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
   last_.flood_us += flood_timer.micros();
 
   // Rollback state, captured before the mutation: a structural delta
-  // snapshots the instance (O(n) memcpys, same order as the graph rebuild
-  // it already pays); a coefficient-only delta records the inverse edits
-  // (first write per entry wins, so duplicate edits in one batch still
-  // restore the original value).
-  std::optional<MaxMinInstance> pre_edit;
+  // snapshots only the rows and agents it touches (O(ball) copies, matching
+  // the O(ball) splice it precedes); a coefficient-only delta records the
+  // inverse edits (first write per entry wins, so duplicate edits in one
+  // batch still restore the original value).
+  std::optional<SpecialFormPatch> pre_edit;
   InstanceDelta inverse;
   if (delta.structural()) {
-    pre_edit = sf_.instance();
+    pre_edit = sf_.snapshot_for(delta);
   } else {
     std::unordered_set<std::uint64_t> seen;
     seen.reserve(delta.coeff_edits.size());
@@ -354,7 +388,7 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
   Timer apply_timer;
   sf_.apply(delta);
   if (delta.structural()) {
-    g_ = CommGraph(sf_.instance());
+    g_.apply_delta(delta, sf_.instance());
     LOCMM_CHECK(static_cast<std::size_t>(g_.num_nodes()) ==
                 node_stamp_.size());
   } else {
@@ -381,7 +415,7 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
     // Re-colour the dirty ball only (cone-restricted WL; bit-equal to a
     // whole-graph full-depth refine for exactly these agents).
     Timer refine_timer;
-    const PartialColors pc = refine_agent_colors(g_, D_, dirty);
+    const PartialColors pc = refine_agent_colors(g_, D_, dirty, opt_.threads);
     last_.refine_us = refine_timer.micros();
     last_.region_nodes = pc.region_nodes;
     if (deadline != nullptr) deadline->check("recolour");
@@ -433,11 +467,13 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
     // Commit-or-rollback: undo the instance + graph mutation, leaving the
     // solver bitwise as before the call (x_ and the colours were never
     // written -- the scatter runs strictly after the last throw point).
-    // The structural path rebuilds both deterministically from the
-    // snapshot; the coefficient path applies the recorded inverse.
+    // The structural path restores the touched rows from the O(ball) patch
+    // and re-splices the graph against the restored instance (apply_delta
+    // is symmetric: the touched node set is the same either way); the
+    // coefficient path applies the recorded inverse.
     if (pre_edit.has_value()) {
-      sf_ = SpecialFormInstance(*pre_edit);
-      g_ = CommGraph(sf_.instance());
+      sf_.restore(*pre_edit);
+      g_.apply_delta(delta, sf_.instance());
     } else {
       sf_.apply(inverse);
       for (const CoeffEdit& e : inverse.coeff_edits) {

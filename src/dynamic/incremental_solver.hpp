@@ -14,8 +14,9 @@
 //      pre- and post-edit graphs for structural deltas, since a removed
 //      edge can push agents that used to see it beyond the new horizon;
 //   2. patching the layers below in place (SpecialFormInstance::apply,
-//      CommGraph::set_edge_coefficient; structural deltas rebuild the
-//      graph, an O(V+E) splice that is noise next to any solve);
+//      CommGraph::set_edge_coefficient; structural deltas splice only the
+//      touched adjacency rows via CommGraph::apply_delta -- O(ball), not
+//      O(V+E));
 //   3. re-colouring ONLY the dirty ball with the cone-restricted WL
 //      refinement (graph/color_refine.hpp: refine_agent_colors), grouping
 //      dirty agents into view-equivalence classes without touching the
@@ -178,8 +179,9 @@ class IncrementalSolver {
   // `deadline` (engine L only; distributed engines CHECK it is null) that
   // expires mid-resolve throws DeadlineExceeded and rolls the already
   // applied mutation back: coefficient-only deltas via the recorded inverse
-  // delta, structural deltas via a deterministic rebuild from the pre-edit
-  // instance snapshot -- either way the solver is left bitwise identical to
+  // delta, structural deltas via an O(ball) patch of the touched rows
+  // (SpecialFormInstance::restore) plus a graph re-splice against the
+  // restored instance -- either way the solver is left bitwise identical to
   // the state before the call, except for the ViewClassCache, which may
   // have gained entries and advanced an epoch (sound: every entry is a
   // self-contained colour -> value fact, and eviction only ever costs a

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/hash.hpp"
+#include "support/thread_pool.hpp"
 
 namespace locmm {
 
@@ -148,7 +149,8 @@ ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth,
 }
 
 PartialColors refine_agent_colors(const CommGraph& g, std::int32_t depth,
-                                  std::span<const AgentId> agents) {
+                                  std::span<const AgentId> agents,
+                                  std::size_t threads) {
   LOCMM_CHECK(depth >= 0);
   PartialColors out;
   out.agents.assign(agents.begin(), agents.end());
@@ -193,7 +195,9 @@ PartialColors refine_agent_colors(const CommGraph& g, std::int32_t depth,
   std::vector<std::int32_t> nbr_local(static_cast<std::size_t>(offsets.back()));
   std::vector<std::uint64_t> nbr_bp(nbr_local.size());
   std::vector<std::uint64_t> nbr_coeff(nbr_local.size());
-  for (std::size_t i = 0; i < region.size(); ++i) {
+  // Each region index fills only its own slot range reading the shared
+  // `local` map, so the build is data-parallel over the cone.
+  parallel_for(region.size(), threads, [&](std::size_t i) {
     const NodeId u = region[i];
     const auto neigh = g.neighbors(u);
     for (std::size_t p = 0; p < neigh.size(); ++p) {
@@ -204,7 +208,7 @@ PartialColors refine_agent_colors(const CommGraph& g, std::int32_t depth,
           g.back_port(u, static_cast<std::int32_t>(p)));
       nbr_coeff[slot] = coeff_bits_exact(neigh[p].coeff);
     }
-  }
+  });
 
   std::vector<Color> cur(region.size()), next(region.size());
   for (std::size_t i = 0; i < region.size(); ++i) {
@@ -213,9 +217,13 @@ PartialColors refine_agent_colors(const CommGraph& g, std::int32_t depth,
   // Out-of-region neighbours fold a fixed placeholder: the node reading one
   // sits at region-boundary distance, so its colour is outside every seed
   // agent's dependency cone (see the header preamble) and never surfaces.
+  //
+  // Each sweep reads `cur` and writes next[i] only, so the rounds run
+  // data-parallel too -- same bytes hashed in the same per-node order,
+  // bitwise identical to the serial sweep for any thread count.
   const Color placeholder{};
   for (std::int32_t round = 0; round < depth; ++round) {
-    for (std::size_t i = 0; i < region.size(); ++i) {
+    parallel_for(region.size(), threads, [&](std::size_t i) {
       Color h = cur[i];
       for (std::int64_t j = offsets[i]; j < offsets[i + 1]; ++j) {
         const std::int32_t u = nbr_local[static_cast<std::size_t>(j)];
@@ -225,7 +233,7 @@ PartialColors refine_agent_colors(const CommGraph& g, std::int32_t depth,
                       nbr_coeff[static_cast<std::size_t>(j)]);
       }
       next[i] = h;
-    }
+    });
     cur.swap(next);
   }
 

@@ -127,7 +127,10 @@ ViewClasses refine_view_classes(const CommGraph& g, std::int32_t depth,
 // whole-graph refine_view_classes(g, depth, /*full_depth=*/true) would
 // assign these agents, at O(depth * |ball(agents, depth)| * deg) cost
 // instead of O(depth * |E|): after a local edit, only the dirty ball pays
-// for re-colouring.
+// for re-colouring.  With threads > 1 the region-adjacency build and the
+// per-round sweeps run data-parallel over the region (each index writes its
+// own slot reading only the previous round), so the colours are bitwise
+// independent of the thread count.
 struct PartialColors {
   std::vector<AgentId> agents;  // the input agents, in input order
   std::vector<std::uint64_t> color_a;  // parallel to `agents`
@@ -135,6 +138,7 @@ struct PartialColors {
   std::int64_t region_nodes = 0;  // |ball(agents, depth)|: the work bound
 };
 PartialColors refine_agent_colors(const CommGraph& g, std::int32_t depth,
-                                  std::span<const AgentId> agents);
+                                  std::span<const AgentId> agents,
+                                  std::size_t threads = 1);
 
 }  // namespace locmm

@@ -1,6 +1,9 @@
 #include "graph/comm_graph.hpp"
 
+#include <algorithm>
 #include <deque>
+
+#include "lp/delta.hpp"
 
 namespace locmm {
 
@@ -13,55 +16,85 @@ const char* to_string(NodeType t) {
   return "?";
 }
 
+namespace {
+
+// Adjacency row builders shared by the constructor and apply_delta, so a
+// spliced row is byte-for-byte what a fresh construction would produce.
+void agent_adjacency(const CommGraph& g, const MaxMinInstance& inst, AgentId v,
+                     std::vector<HalfEdge>& out) {
+  out.clear();
+  for (const Incidence& inc : inst.agent_constraints(v))
+    out.push_back({g.constraint_node(inc.row), inc.coeff});
+  for (const Incidence& inc : inst.agent_objectives(v))
+    out.push_back({g.objective_node(inc.row), inc.coeff});
+}
+
+void row_adjacency(const CommGraph& g, std::span<const Entry> row,
+                   std::vector<HalfEdge>& out) {
+  out.clear();
+  for (const Entry& e : row) out.push_back({g.agent_node(e.agent), e.coeff});
+}
+
+}  // namespace
+
 CommGraph::CommGraph(const MaxMinInstance& inst)
     : num_agents_(inst.num_agents()),
       num_constraints_(inst.num_constraints()),
       num_objectives_(inst.num_objectives()) {
-  const NodeId total = static_cast<NodeId>(num_agents_) + num_constraints_ +
-                       num_objectives_;
-  offsets_.assign(static_cast<std::size_t>(total) + 1, 0);
   constraint_degree_.assign(static_cast<std::size_t>(num_agents_), 0);
 
-  // Degrees.
+  // One adjacency row per node, in port order (agents: constraints first,
+  // then objectives; rows: their entries).
+  std::vector<HalfEdge> row;
   for (AgentId v = 0; v < num_agents_; ++v) {
-    const auto ic = inst.agent_constraints(v).size();
-    const auto ik = inst.agent_objectives(v).size();
-    offsets_[static_cast<std::size_t>(v) + 1] =
-        static_cast<std::int64_t>(ic + ik);
+    agent_adjacency(*this, inst, v, row);
+    adj_.append_row(row);
     constraint_degree_[static_cast<std::size_t>(v)] =
-        static_cast<std::int32_t>(ic);
+        static_cast<std::int32_t>(inst.agent_constraints(v).size());
   }
   for (ConstraintId i = 0; i < num_constraints_; ++i) {
-    offsets_[static_cast<std::size_t>(constraint_node(i)) + 1] =
-        static_cast<std::int64_t>(inst.constraint_row(i).size());
+    row_adjacency(*this, inst.constraint_row(i), row);
+    adj_.append_row(row);
   }
   for (ObjectiveId k = 0; k < num_objectives_; ++k) {
-    offsets_[static_cast<std::size_t>(objective_node(k)) + 1] =
-        static_cast<std::int64_t>(inst.objective_row(k).size());
+    row_adjacency(*this, inst.objective_row(k), row);
+    adj_.append_row(row);
   }
-  for (std::size_t n = 0; n + 1 < offsets_.size(); ++n)
-    offsets_[n + 1] += offsets_[n];
-  edges_.resize(static_cast<std::size_t>(offsets_.back()));
+}
 
-  // Fill in port order.
-  for (AgentId v = 0; v < num_agents_; ++v) {
-    auto pos = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
-    for (const Incidence& inc : inst.agent_constraints(v))
-      edges_[pos++] = {constraint_node(inc.row), inc.coeff};
-    for (const Incidence& inc : inst.agent_objectives(v))
-      edges_[pos++] = {objective_node(inc.row), inc.coeff};
-  }
-  for (ConstraintId i = 0; i < num_constraints_; ++i) {
-    auto pos = static_cast<std::size_t>(
-        offsets_[static_cast<std::size_t>(constraint_node(i))]);
-    for (const Entry& e : inst.constraint_row(i))
-      edges_[pos++] = {agent_node(e.agent), e.coeff};
-  }
-  for (ObjectiveId k = 0; k < num_objectives_; ++k) {
-    auto pos = static_cast<std::size_t>(
-        offsets_[static_cast<std::size_t>(objective_node(k))]);
-    for (const Entry& e : inst.objective_row(k))
-      edges_[pos++] = {agent_node(e.agent), e.coeff};
+void CommGraph::apply_delta(const InstanceDelta& delta,
+                            const MaxMinInstance& inst) {
+  LOCMM_CHECK_MSG(inst.num_agents() == num_agents_ &&
+                      inst.num_constraints() == num_constraints_ &&
+                      inst.num_objectives() == num_objectives_,
+                  "apply_delta: node counts changed");
+  std::vector<NodeId> nodes;
+  delta.for_each_touched_edge([&](RowKind k, std::int32_t r, AgentId agent) {
+    nodes.push_back(k == RowKind::kConstraint ? constraint_node(r)
+                                              : objective_node(r));
+    nodes.push_back(agent_node(agent));
+  });
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  std::vector<HalfEdge> row;
+  for (const NodeId node : nodes) {
+    switch (type(node)) {
+      case NodeType::kAgent: {
+        const auto v = static_cast<AgentId>(node);
+        agent_adjacency(*this, inst, v, row);
+        constraint_degree_[static_cast<std::size_t>(v)] =
+            static_cast<std::int32_t>(inst.agent_constraints(v).size());
+        break;
+      }
+      case NodeType::kConstraint:
+        row_adjacency(*this, inst.constraint_row(class_index(node)), row);
+        break;
+      case NodeType::kObjective:
+        row_adjacency(*this, inst.objective_row(class_index(node)), row);
+        break;
+    }
+    adj_.assign_row(static_cast<std::size_t>(node), row);
   }
 }
 
@@ -85,12 +118,9 @@ void CommGraph::set_edge_coefficient(NodeId row_node, NodeId agent,
                       << to_string(type(row_node)) << ", "
                       << to_string(type(agent)) << ")");
   auto patch = [&](NodeId from, NodeId to) {
-    const auto base = static_cast<std::size_t>(offsets_[
-        static_cast<std::size_t>(from)]);
-    const auto deg = static_cast<std::size_t>(degree(from));
-    for (std::size_t p = 0; p < deg; ++p) {
-      if (edges_[base + p].to == to) {
-        edges_[base + p].coeff = coeff;
+    for (HalfEdge& e : adj_.mutable_row(static_cast<std::size_t>(from))) {
+      if (e.to == to) {
+        e.coeff = coeff;
         return true;
       }
     }

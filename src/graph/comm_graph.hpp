@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "lp/instance.hpp"
+#include "lp/spliced_rows.hpp"
 
 namespace locmm {
 
@@ -31,7 +32,7 @@ class CommGraph {
  public:
   explicit CommGraph(const MaxMinInstance& inst);
 
-  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.num_rows()); }
   std::int32_t num_agents() const { return num_agents_; }
   std::int32_t num_constraints() const { return num_constraints_; }
   std::int32_t num_objectives() const { return num_objectives_; }
@@ -65,8 +66,7 @@ class CommGraph {
   // Neighbours in port order; the index into this span is the port number.
   std::span<const HalfEdge> neighbors(NodeId node) const {
     LOCMM_DCHECK(node >= 0 && node < num_nodes());
-    const auto n = static_cast<std::size_t>(node);
-    return {edges_.data() + offsets_[n], edges_.data() + offsets_[n + 1]};
+    return adj_.row(static_cast<std::size_t>(node));
   }
 
   std::int32_t degree(NodeId node) const {
@@ -89,12 +89,23 @@ class CommGraph {
   // Patches the coefficient written on the (row_node, agent) edge, in both
   // directions, without touching the topology.  O(deg) per call: the edge is
   // located by scanning the two port lists (an agent meets a given row at
-  // most once, so both slots are unique).  This is the coefficient-delta
-  // path of the dynamic subsystem (src/dynamic); structural deltas
-  // (membership add/remove) move degrees and ports and rebuild the graph
-  // through the constructor instead -- O(V+E) with small constants, cheap
-  // next to any solve.
+  // most once, so both slots are unique).  This is the single-edge
+  // coefficient path; whole deltas (including structural ones) go through
+  // apply_delta below.
   void set_edge_coefficient(NodeId row_node, NodeId agent, double coeff);
+
+  // Splices the graph to match `inst`, which must be the instance AFTER
+  // `delta` was applied to the instance this graph was built from (node
+  // counts never change under deltas).  Every node the delta touches -- the
+  // row nodes and the agents of its membership and coefficient edits -- has
+  // its adjacency row rebuilt wholesale from `inst`, which reproduces the
+  // constructor's port order exactly (rows and incidence lists ARE the port
+  // numbering), so the result is accessor-identical to CommGraph(inst).
+  // O(ball): only touched rows splice; the adjacency heap is slack CSR.
+  // Calling apply_delta(delta, pre_inst) after the instance was rolled back
+  // to pre_inst un-does the splice -- the rollback path of
+  // src/dynamic/incremental_solver.cpp uses exactly that symmetry.
+  void apply_delta(const InstanceDelta& delta, const MaxMinInstance& inst);
 
   // BFS distances from `src`, capped at max_dist (nodes farther away get -1).
   std::vector<std::int32_t> bfs_distances(NodeId src,
@@ -114,8 +125,7 @@ class CommGraph {
   std::int32_t num_agents_ = 0;
   std::int32_t num_constraints_ = 0;
   std::int32_t num_objectives_ = 0;
-  std::vector<std::int64_t> offsets_;
-  std::vector<HalfEdge> edges_;
+  SplicedRows<HalfEdge> adj_;
   std::vector<std::int32_t> constraint_degree_;
 };
 

@@ -18,28 +18,26 @@ const char* to_string(RowKind k) {
 
 namespace {
 
-// The CSR pair an edit addresses: row entries + agent incidence, selected by
-// RowKind.  All four arrays live inside MaxMinInstance; the helpers below
-// mutate them through these references.
+// The spliced-CSR pair an edit addresses: row entries + agent incidence,
+// selected by RowKind.  Both live inside MaxMinInstance; the helpers below
+// splice the touched row and agent only -- O(row degree), never O(nnz).
 struct RowArrays {
-  std::vector<std::int64_t>& row_offsets;
-  std::vector<Entry>& row_entries;
-  std::vector<std::int64_t>& agent_offsets;
-  std::vector<Incidence>& agent_inc;
+  SplicedRows<Entry>& rows;
+  SplicedRows<Incidence>& agents;
 };
 
 std::int64_t find_in_row(const RowArrays& a, std::int32_t row, AgentId v) {
-  for (std::int64_t j = a.row_offsets[static_cast<std::size_t>(row)];
-       j < a.row_offsets[static_cast<std::size_t>(row) + 1]; ++j) {
-    if (a.row_entries[static_cast<std::size_t>(j)].agent == v) return j;
+  const auto entries = a.rows.row(static_cast<std::size_t>(row));
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    if (entries[j].agent == v) return static_cast<std::int64_t>(j);
   }
   return -1;
 }
 
 std::int64_t find_in_agent(const RowArrays& a, AgentId v, std::int32_t row) {
-  for (std::int64_t j = a.agent_offsets[static_cast<std::size_t>(v)];
-       j < a.agent_offsets[static_cast<std::size_t>(v) + 1]; ++j) {
-    if (a.agent_inc[static_cast<std::size_t>(j)].row == row) return j;
+  const auto inc = a.agents.row(static_cast<std::size_t>(v));
+  for (std::size_t j = 0; j < inc.size(); ++j) {
+    if (inc[j].row == row) return static_cast<std::int64_t>(j);
   }
   return -1;
 }
@@ -51,51 +49,37 @@ std::int64_t find_in_agent(const RowArrays& a, AgentId v, std::int32_t row) {
 void remove_membership(RowArrays a, const MembershipEdit& e) {
   const std::int64_t rj = find_in_row(a, e.row, e.agent);
   LOCMM_CHECK(rj >= 0);
-  a.row_entries.erase(a.row_entries.begin() + rj);
-  for (std::size_t i = static_cast<std::size_t>(e.row) + 1;
-       i < a.row_offsets.size(); ++i) {
-    --a.row_offsets[i];
-  }
+  a.rows.erase(static_cast<std::size_t>(e.row), static_cast<std::size_t>(rj));
   const std::int64_t aj = find_in_agent(a, e.agent, e.row);
   LOCMM_CHECK(aj >= 0);
-  a.agent_inc.erase(a.agent_inc.begin() + aj);
-  for (std::size_t i = static_cast<std::size_t>(e.agent) + 1;
-       i < a.agent_offsets.size(); ++i) {
-    --a.agent_offsets[i];
-  }
+  a.agents.erase(static_cast<std::size_t>(e.agent),
+                 static_cast<std::size_t>(aj));
 }
 
 void add_membership(RowArrays a, const MembershipEdit& e) {
   // Appended at the end of the row: the new entry takes the last port,
   // exactly where InstanceBuilder would put it.
-  a.row_entries.insert(
-      a.row_entries.begin() + a.row_offsets[static_cast<std::size_t>(e.row) + 1],
-      Entry{e.agent, e.coeff});
-  for (std::size_t i = static_cast<std::size_t>(e.row) + 1;
-       i < a.row_offsets.size(); ++i) {
-    ++a.row_offsets[i];
-  }
+  a.rows.push_back(static_cast<std::size_t>(e.row), Entry{e.agent, e.coeff});
   // Agent side: the builder scans rows in id order, so the incidence list is
   // sorted ascending by row; insert at the position that keeps it so.
-  std::int64_t pos = a.agent_offsets[static_cast<std::size_t>(e.agent)];
-  const std::int64_t end = a.agent_offsets[static_cast<std::size_t>(e.agent) + 1];
-  while (pos < end && a.agent_inc[static_cast<std::size_t>(pos)].row < e.row) {
-    ++pos;
-  }
-  a.agent_inc.insert(a.agent_inc.begin() + pos, Incidence{e.row, e.coeff});
-  for (std::size_t i = static_cast<std::size_t>(e.agent) + 1;
-       i < a.agent_offsets.size(); ++i) {
-    ++a.agent_offsets[i];
-  }
+  const auto inc = a.agents.row(static_cast<std::size_t>(e.agent));
+  std::size_t pos = 0;
+  while (pos < inc.size() && inc[pos].row < e.row) ++pos;
+  a.agents.insert(static_cast<std::size_t>(e.agent), pos,
+                  Incidence{e.row, e.coeff});
 }
 
 void edit_coefficient(RowArrays a, const CoeffEdit& e) {
   const std::int64_t rj = find_in_row(a, e.row, e.agent);
   LOCMM_CHECK(rj >= 0);
-  a.row_entries[static_cast<std::size_t>(rj)].coeff = e.coeff;
+  a.rows.mutable_row(
+      static_cast<std::size_t>(e.row))[static_cast<std::size_t>(rj)]
+      .coeff = e.coeff;
   const std::int64_t aj = find_in_agent(a, e.agent, e.row);
   LOCMM_CHECK(aj >= 0);
-  a.agent_inc[static_cast<std::size_t>(aj)].coeff = e.coeff;
+  a.agents.mutable_row(
+      static_cast<std::size_t>(e.agent))[static_cast<std::size_t>(aj)]
+      .coeff = e.coeff;
 }
 
 // 64-bit keys for the dry-run simulation maps: (kind, row, agent) for
@@ -260,10 +244,8 @@ void MaxMinInstance::apply(const InstanceDelta& delta) {
                                                    " more)"
                                              : ""));
 
-  RowArrays con{constraint_offsets_, constraint_entries_,
-                agent_constraint_offsets_, agent_constraint_inc_};
-  RowArrays obj{objective_offsets_, objective_entries_,
-                agent_objective_offsets_, agent_objective_inc_};
+  RowArrays con{constraint_rows_, agent_constraint_rows_};
+  RowArrays obj{objective_rows_, agent_objective_rows_};
   auto arrays = [&](RowKind k) -> RowArrays& {
     return k == RowKind::kConstraint ? con : obj;
   };

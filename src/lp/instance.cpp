@@ -12,8 +12,8 @@ InstanceStats MaxMinInstance::stats() const {
   s.agents = num_agents();
   s.constraints = num_constraints();
   s.objectives = num_objectives();
-  s.nnz_a = static_cast<std::int64_t>(constraint_entries_.size());
-  s.nnz_c = static_cast<std::int64_t>(objective_entries_.size());
+  s.nnz_a = constraint_rows_.live();
+  s.nnz_c = objective_rows_.live();
   for (ConstraintId i = 0; i < num_constraints(); ++i) {
     s.delta_i = std::max(s.delta_i,
                          static_cast<std::int32_t>(constraint_row(i).size()));
@@ -160,64 +160,78 @@ MaxMinInstance InstanceBuilder::build(bool validate) const {
   MaxMinInstance inst;
   inst.num_agents_ = num_agents_;
 
-  inst.constraint_offsets_.reserve(constraint_rows_.size() + 1);
   for (const auto& row : constraint_rows_) {
-    inst.constraint_entries_.insert(inst.constraint_entries_.end(), row.begin(),
-                                    row.end());
-    inst.constraint_offsets_.push_back(
-        static_cast<std::int64_t>(inst.constraint_entries_.size()));
+    inst.constraint_rows_.append_row(row);
   }
-  inst.objective_offsets_.reserve(objective_rows_.size() + 1);
   for (const auto& row : objective_rows_) {
-    inst.objective_entries_.insert(inst.objective_entries_.end(), row.begin(),
-                                   row.end());
-    inst.objective_offsets_.push_back(
-        static_cast<std::int64_t>(inst.objective_entries_.size()));
+    inst.objective_rows_.append_row(row);
   }
 
   // Agent incidence, in row-insertion order (this fixes the agent-side port
   // numbering deterministically).
   const auto n = static_cast<std::size_t>(num_agents_);
-  std::vector<std::int64_t> cdeg(n, 0), kdeg(n, 0);
-  for (const auto& row : constraint_rows_)
-    for (const Entry& e : row) ++cdeg[static_cast<std::size_t>(e.agent)];
-  for (const auto& row : objective_rows_)
-    for (const Entry& e : row) ++kdeg[static_cast<std::size_t>(e.agent)];
-
-  inst.agent_constraint_offsets_.assign(n + 1, 0);
-  inst.agent_objective_offsets_.assign(n + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) {
-    inst.agent_constraint_offsets_[v + 1] =
-        inst.agent_constraint_offsets_[v] + cdeg[v];
-    inst.agent_objective_offsets_[v + 1] =
-        inst.agent_objective_offsets_[v] + kdeg[v];
-  }
-  inst.agent_constraint_inc_.resize(
-      static_cast<std::size_t>(inst.agent_constraint_offsets_[n]));
-  inst.agent_objective_inc_.resize(
-      static_cast<std::size_t>(inst.agent_objective_offsets_[n]));
-
-  std::vector<std::int64_t> cpos(inst.agent_constraint_offsets_.begin(),
-                                 inst.agent_constraint_offsets_.end() - 1);
+  std::vector<std::vector<Incidence>> cinc(n), kinc(n);
   for (std::size_t r = 0; r < constraint_rows_.size(); ++r) {
     for (const Entry& e : constraint_rows_[r]) {
-      inst.agent_constraint_inc_[static_cast<std::size_t>(
-          cpos[static_cast<std::size_t>(e.agent)]++)] = {
-          static_cast<std::int32_t>(r), e.coeff};
+      cinc[static_cast<std::size_t>(e.agent)].push_back(
+          {static_cast<std::int32_t>(r), e.coeff});
     }
   }
-  std::vector<std::int64_t> kpos(inst.agent_objective_offsets_.begin(),
-                                 inst.agent_objective_offsets_.end() - 1);
   for (std::size_t r = 0; r < objective_rows_.size(); ++r) {
     for (const Entry& e : objective_rows_[r]) {
-      inst.agent_objective_inc_[static_cast<std::size_t>(
-          kpos[static_cast<std::size_t>(e.agent)]++)] = {
-          static_cast<std::int32_t>(r), e.coeff};
+      kinc[static_cast<std::size_t>(e.agent)].push_back(
+          {static_cast<std::int32_t>(r), e.coeff});
     }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    inst.agent_constraint_rows_.append_row(cinc[v]);
+    inst.agent_objective_rows_.append_row(kinc[v]);
   }
 
   if (validate) inst.validate();
   return inst;
+}
+
+InstancePatch MaxMinInstance::snapshot(
+    std::span<const ConstraintId> constraints,
+    std::span<const ObjectiveId> objectives,
+    std::span<const AgentId> agents) const {
+  InstancePatch p;
+  for (const ConstraintId i : constraints) {
+    const auto row = constraint_row(i);
+    p.constraint_ids.push_back(i);
+    p.constraint_rows.emplace_back(row.begin(), row.end());
+  }
+  for (const ObjectiveId k : objectives) {
+    const auto row = objective_row(k);
+    p.objective_ids.push_back(k);
+    p.objective_rows.emplace_back(row.begin(), row.end());
+  }
+  for (const AgentId v : agents) {
+    const auto cons = agent_constraints(v);
+    const auto objs = agent_objectives(v);
+    p.agent_ids.push_back(v);
+    p.agent_constraints.emplace_back(cons.begin(), cons.end());
+    p.agent_objectives.emplace_back(objs.begin(), objs.end());
+  }
+  return p;
+}
+
+void MaxMinInstance::restore(const InstancePatch& patch) {
+  for (std::size_t j = 0; j < patch.constraint_ids.size(); ++j) {
+    constraint_rows_.assign_row(
+        static_cast<std::size_t>(patch.constraint_ids[j]),
+        patch.constraint_rows[j]);
+  }
+  for (std::size_t j = 0; j < patch.objective_ids.size(); ++j) {
+    objective_rows_.assign_row(static_cast<std::size_t>(patch.objective_ids[j]),
+                               patch.objective_rows[j]);
+  }
+  for (std::size_t j = 0; j < patch.agent_ids.size(); ++j) {
+    const auto v = static_cast<std::size_t>(patch.agent_ids[j]);
+    agent_constraint_rows_.assign_row(v, patch.agent_constraints[j]);
+    agent_objective_rows_.assign_row(v, patch.agent_objectives[j]);
+  }
 }
 
 MaxMinInstance relabel_agents(const MaxMinInstance& inst,

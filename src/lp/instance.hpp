@@ -11,6 +11,11 @@
 // are numbered by the position of the edge in its list.  Builders and
 // transformations preserve these orders deterministically.
 //
+// The rows live in SplicedRows (lp/spliced_rows.hpp), a slack-CSR layout, so
+// a membership edit splices the touched row and agent in O(row degree)
+// instead of shifting the whole packed array.  All contracts about row
+// contents are accessor-level (the spans), not physical-layout-level.
+//
 // The task (paper eq. (2)):
 //   maximise   omega(x) = min_k sum_{v in Vk} c_kv x_v
 //   subject to sum_{v in Vi} a_iv x_v <= 1  for all i,   x >= 0.
@@ -21,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/spliced_rows.hpp"
 #include "support/check.hpp"
 
 namespace locmm {
@@ -60,40 +66,49 @@ struct InstanceStats {
 class InstanceBuilder;
 struct InstanceDelta;  // lp/delta.hpp
 
+// O(ball) undo record for a batch of edits: the pre-edit contents of every
+// touched row and agent incidence list, captured by snapshot() and written
+// back by restore().  Sized by the batch footprint, never by the instance.
+struct InstancePatch {
+  std::vector<ConstraintId> constraint_ids;
+  std::vector<std::vector<Entry>> constraint_rows;
+  std::vector<ObjectiveId> objective_ids;
+  std::vector<std::vector<Entry>> objective_rows;
+  std::vector<AgentId> agent_ids;
+  std::vector<std::vector<Incidence>> agent_constraints;
+  std::vector<std::vector<Incidence>> agent_objectives;
+};
+
 class MaxMinInstance {
  public:
   MaxMinInstance() = default;
 
   std::int32_t num_agents() const { return num_agents_; }
   std::int32_t num_constraints() const {
-    return static_cast<std::int32_t>(constraint_offsets_.size()) - 1;
+    return static_cast<std::int32_t>(constraint_rows_.num_rows());
   }
   std::int32_t num_objectives() const {
-    return static_cast<std::int32_t>(objective_offsets_.size()) - 1;
+    return static_cast<std::int32_t>(objective_rows_.num_rows());
   }
 
   // Row views (entries in port order).
   std::span<const Entry> constraint_row(ConstraintId i) const {
     LOCMM_DCHECK(i >= 0 && i < num_constraints());
-    return {constraint_entries_.data() + constraint_offsets_[i],
-            constraint_entries_.data() + constraint_offsets_[i + 1]};
+    return constraint_rows_.row(static_cast<std::size_t>(i));
   }
   std::span<const Entry> objective_row(ObjectiveId k) const {
     LOCMM_DCHECK(k >= 0 && k < num_objectives());
-    return {objective_entries_.data() + objective_offsets_[k],
-            objective_entries_.data() + objective_offsets_[k + 1]};
+    return objective_rows_.row(static_cast<std::size_t>(k));
   }
 
   // Agent incidence views (rows in port order).
   std::span<const Incidence> agent_constraints(AgentId v) const {
     LOCMM_DCHECK(v >= 0 && v < num_agents());
-    return {agent_constraint_inc_.data() + agent_constraint_offsets_[v],
-            agent_constraint_inc_.data() + agent_constraint_offsets_[v + 1]};
+    return agent_constraint_rows_.row(static_cast<std::size_t>(v));
   }
   std::span<const Incidence> agent_objectives(AgentId v) const {
     LOCMM_DCHECK(v >= 0 && v < num_agents());
-    return {agent_objective_inc_.data() + agent_objective_offsets_[v],
-            agent_objective_inc_.data() + agent_objective_offsets_[v + 1]};
+    return agent_objective_rows_.row(static_cast<std::size_t>(v));
   }
 
   InstanceStats stats() const;
@@ -125,32 +140,34 @@ class MaxMinInstance {
   bool connected() const;
 
   // Applies a batched edit in place (lp/delta.hpp: removes, then adds, then
-  // coefficient edits), leaving the instance bit-identical to an
-  // InstanceBuilder rebuild of the edited rows.  Cost: O(1) array writes per
-  // coefficient edit; membership edits shift the CSR tails (O(nnz) worst
-  // case -- still microseconds next to any solve).  Checks the local
+  // coefficient edits), leaving every touched row accessor-identical to an
+  // InstanceBuilder rebuild of the edited instance.  Cost: O(1) array writes
+  // per coefficient edit and O(row degree), amortized, per membership edit
+  // (the rows splice in place; nothing shifts globally).  Checks the local
   // invariants of the touched rows/agents after the batch; defined in
   // lp/delta.cpp.
   void apply(const InstanceDelta& delta);
+
+  // Captures the current contents of the named rows/agents (duplicates in
+  // the id lists are fine; each is recorded once per occurrence and restores
+  // idempotently).  restore() writes a patch back, reverting an apply()
+  // whose footprint the patch covers.  Both cost O(patch), never O(n).
+  InstancePatch snapshot(std::span<const ConstraintId> constraints,
+                         std::span<const ObjectiveId> objectives,
+                         std::span<const AgentId> agents) const;
+  void restore(const InstancePatch& patch);
 
   friend class InstanceBuilder;
 
  private:
   std::int32_t num_agents_ = 0;
 
-  // CSR over constraint rows.
-  std::vector<std::int64_t> constraint_offsets_{0};
-  std::vector<Entry> constraint_entries_;
-
-  // CSR over objective rows.
-  std::vector<std::int64_t> objective_offsets_{0};
-  std::vector<Entry> objective_entries_;
-
-  // CSR over agents: incident constraints / objectives, in port order.
-  std::vector<std::int64_t> agent_constraint_offsets_;
-  std::vector<Incidence> agent_constraint_inc_;
-  std::vector<std::int64_t> agent_objective_offsets_;
-  std::vector<Incidence> agent_objective_inc_;
+  // Slack CSR over constraint rows / objective rows, and over agents'
+  // incident constraints / objectives (in port order).
+  SplicedRows<Entry> constraint_rows_;
+  SplicedRows<Entry> objective_rows_;
+  SplicedRows<Incidence> agent_constraint_rows_;
+  SplicedRows<Incidence> agent_objective_rows_;
 };
 
 // Accumulates rows, then build() computes agent incidence and validates

@@ -1,0 +1,152 @@
+// spliced_rows.hpp -- a CSR variant that supports O(row) splicing.
+//
+// Classic CSR (offsets + one packed entry array) makes membership edits
+// O(nnz): inserting into a row shifts every later entry and every later
+// offset.  SplicedRows keeps per-row (position, length, capacity) descriptors
+// into a shared heap instead.  A row with spare capacity patches in place; a
+// full row relocates to the end of the heap with deterministic slack, leaving
+// a tombstoned hole behind.  Compaction is deferred until the dead space
+// would exceed the live entries, so a long edit stream costs amortized O(row)
+// per membership edit and O(1) per coefficient edit -- never O(nnz).
+//
+// "Bit-identical" contracts elsewhere in the repo are stated about the
+// *accessor-visible* row contents (the spans returned by row()), not the
+// physical heap layout: two SplicedRows that went through different edit
+// histories may place rows differently while exposing identical spans.
+//
+// Mutating calls (insert/erase/assign_row/append_row) may relocate or
+// compact, which invalidates every previously obtained span.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace locmm {
+
+template <typename T>
+class SplicedRows {
+ public:
+  std::size_t num_rows() const { return pos_.size(); }
+
+  // Total live entries across all rows (the CSR "nnz").
+  std::int64_t live() const { return live_; }
+
+  std::span<const T> row(std::size_t r) const {
+    LOCMM_DCHECK(r < pos_.size());
+    return {data_.data() + pos_[r], static_cast<std::size_t>(len_[r])};
+  }
+  std::span<T> mutable_row(std::size_t r) {
+    LOCMM_DCHECK(r < pos_.size());
+    return {data_.data() + pos_[r], static_cast<std::size_t>(len_[r])};
+  }
+
+  // Build-time append: the new row is packed tight (capacity == length).
+  void append_row(std::span<const T> entries) {
+    pos_.push_back(static_cast<std::int64_t>(data_.size()));
+    len_.push_back(static_cast<std::int32_t>(entries.size()));
+    cap_.push_back(static_cast<std::int32_t>(entries.size()));
+    data_.insert(data_.end(), entries.begin(), entries.end());
+    live_ += static_cast<std::int64_t>(entries.size());
+  }
+
+  // Inserts `value` at position `at` of row `r` (0 <= at <= len).
+  void insert(std::size_t r, std::size_t at, const T& value) {
+    LOCMM_DCHECK(r < pos_.size());
+    LOCMM_DCHECK(at <= static_cast<std::size_t>(len_[r]));
+    if (len_[r] == cap_[r]) relocate(r, len_[r] + 1);
+    T* base = data_.data() + pos_[r];
+    for (std::size_t j = static_cast<std::size_t>(len_[r]); j > at; --j) {
+      base[j] = base[j - 1];
+    }
+    base[at] = value;
+    ++len_[r];
+    ++live_;
+  }
+
+  void push_back(std::size_t r, const T& value) {
+    insert(r, static_cast<std::size_t>(len_[r]), value);
+  }
+
+  // Erases the entry at position `at` of row `r`.  The freed slot stays as
+  // slack capacity of the row; the global dead-space accounting may trigger
+  // a compaction.
+  void erase(std::size_t r, std::size_t at) {
+    LOCMM_DCHECK(r < pos_.size());
+    LOCMM_DCHECK(at < static_cast<std::size_t>(len_[r]));
+    T* base = data_.data() + pos_[r];
+    for (std::size_t j = at + 1; j < static_cast<std::size_t>(len_[r]); ++j) {
+      base[j - 1] = base[j];
+    }
+    --len_[r];
+    --live_;
+    maybe_compact();
+  }
+
+  // Replaces row `r` wholesale (the splice primitive for derived arrays).
+  void assign_row(std::size_t r, std::span<const T> entries) {
+    LOCMM_DCHECK(r < pos_.size());
+    const auto n = static_cast<std::int32_t>(entries.size());
+    if (n > cap_[r]) relocate(r, n);
+    live_ += n - len_[r];
+    len_[r] = n;
+    std::copy(entries.begin(), entries.end(), data_.data() + pos_[r]);
+    maybe_compact();
+  }
+
+  void clear() {
+    pos_.clear();
+    len_.clear();
+    cap_.clear();
+    data_.clear();
+    live_ = 0;
+  }
+
+ private:
+  // Deterministic slack policy: a relocated row gets headroom proportional
+  // to its new length, so a hot row settles after O(log) relocations.
+  static std::int32_t slack_capacity(std::int32_t n) {
+    return n + std::max<std::int32_t>(4, n / 2);
+  }
+
+  // Moves row `r` to the end of the heap with capacity >= `want`, leaving
+  // its old slots dead.
+  void relocate(std::size_t r, std::int32_t want) {
+    const std::int32_t new_cap = slack_capacity(want);
+    const auto new_pos = static_cast<std::int64_t>(data_.size());
+    data_.resize(data_.size() + static_cast<std::size_t>(new_cap));
+    T* src = data_.data() + pos_[r];
+    T* dst = data_.data() + new_pos;
+    std::copy(src, src + len_[r], dst);
+    pos_[r] = new_pos;
+    cap_[r] = new_cap;
+  }
+
+  // Deferred compaction: once the dead space exceeds the live entries (and a
+  // floor that stops tiny instances from thrashing), rebuild the heap tight
+  // in row order.  Amortized O(1) per edit, invisible through row().
+  void maybe_compact() {
+    const auto dead = static_cast<std::int64_t>(data_.size()) - live_;
+    if (dead <= live_ || dead <= 256) return;
+    std::vector<T> packed;
+    packed.reserve(static_cast<std::size_t>(live_));
+    for (std::size_t r = 0; r < pos_.size(); ++r) {
+      const T* src = data_.data() + pos_[r];
+      pos_[r] = static_cast<std::int64_t>(packed.size());
+      cap_[r] = len_[r];
+      packed.insert(packed.end(), src, src + len_[r]);
+    }
+    data_ = std::move(packed);
+  }
+
+  std::vector<std::int64_t> pos_;
+  std::vector<std::int32_t> len_;
+  std::vector<std::int32_t> cap_;
+  std::vector<T> data_;
+  std::int64_t live_ = 0;
+};
+
+}  // namespace locmm

@@ -20,6 +20,12 @@ std::uint64_t row_key(RowKind k, std::int32_t row) {
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(row));
 }
 
+std::uint64_t edge_key(RowKind k, std::int32_t row, AgentId agent) {
+  return (static_cast<std::uint64_t>(k == RowKind::kObjective) << 63) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(agent));
+}
+
 // Conservative proxy for "the dirty balls overlap": the two batches share a
 // touched row or a touched agent (shared seeds => shared balls; disjoint
 // seeds CAN still give overlapping balls, which only costs a second
@@ -60,6 +66,48 @@ void coalesce_coeff_batch(InstanceDelta& into, const InstanceDelta& add) {
       into.coeff_edits.push_back(e);
     }
   }
+}
+
+// Whether `add` may merge into the queue tail `tail`.  Coefficient-only
+// pairs always can (the legacy path).  A STRUCTURAL merge concatenates the
+// remove and add lists, which reorders add's removes ahead of tail's adds
+// and coefficient edits; that is a no-op exactly when nothing `add` removes
+// was added or coefficient-edited by `tail`.  Then, because removes are
+// ordered erases and adds append at the row end, the merged batch applied
+// to the pre-tail state touches the same entries and leaves every row in
+// the same final entry order as applying the two batches in sequence --
+// one re-solve, bitwise the same committed state.  (The converse overlaps
+// are impossible past admission: `add` cannot re-add what `tail` added or
+// remove what `tail` removed, since it was validated against the projected
+// instance with `tail` already applied.)  Structural merges also respect
+// max_batch_edits, so a coalesced batch never exceeds what submit() would
+// admit outright.
+bool coalescible(const InstanceDelta& tail, const InstanceDelta& add,
+                 std::int64_t max_batch_edits) {
+  if (!tail.structural() && !add.structural()) return true;
+  if (static_cast<std::int64_t>(tail.size() + add.size()) > max_batch_edits) {
+    return false;
+  }
+  std::unordered_set<std::uint64_t> pinned;
+  for (const MembershipEdit& e : tail.adds) {
+    pinned.insert(edge_key(e.kind, e.row, e.agent));
+  }
+  for (const CoeffEdit& e : tail.coeff_edits) {
+    pinned.insert(edge_key(e.kind, e.row, e.agent));
+  }
+  for (const MembershipEdit& e : add.removes) {
+    if (pinned.count(edge_key(e.kind, e.row, e.agent)) != 0) return false;
+  }
+  return true;
+}
+
+// Merges `add` into `into` (coalescible() must hold): removes and adds
+// concatenate in admission order, coefficient edits last-write-wins.
+void coalesce_batch(InstanceDelta& into, const InstanceDelta& add) {
+  into.removes.insert(into.removes.end(), add.removes.begin(),
+                      add.removes.end());
+  into.adds.insert(into.adds.end(), add.adds.begin(), add.adds.end());
+  coalesce_coeff_batch(into, add);
 }
 
 }  // namespace
@@ -159,14 +207,15 @@ ServeStatus SolverService::submit(const std::string& name,
                               join_violations(violations));
   }
 
-  // Coalesce: a coefficient-only batch whose footprint overlaps a
-  // coefficient-only queue tail merges into it (the tail has not started
-  // applying -- drain holds the same mutex -- so the merge is equivalent to
-  // applying both in admission order).
-  if (!delta.structural() && !t->queue.empty() &&
-      !t->queue.back().structural() &&
-      footprints_overlap(t->queue.back(), delta)) {
-    coalesce_coeff_batch(t->queue.back(), delta);
+  // Coalesce: a batch whose footprint overlaps the queue tail merges into
+  // it when the merge is order-equivalent (coalescible; always true for
+  // coefficient-only pairs, conditional for structural ones).  The tail has
+  // not started applying -- drain holds the same mutex -- so the merged
+  // batch commits exactly what the two would in admission order, with one
+  // re-solve instead of two.
+  if (!t->queue.empty() && footprints_overlap(t->queue.back(), delta) &&
+      coalescible(t->queue.back(), delta, t->opt.limits.max_batch_edits)) {
+    coalesce_batch(t->queue.back(), delta);
     t->projected->apply(delta);  // cannot fail: admitted above
     ++st.coalesced;
     ++st.accepted;

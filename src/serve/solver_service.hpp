@@ -15,11 +15,15 @@
 //     projection makes admission exact for queued work: the front batch is
 //     always applicable to the committed state, by induction.
 //   * backpressure -- the queue is bounded (TenantLimits::max_queued_batches).
-//     A coefficient-only batch whose dirty footprint overlaps the queue's
-//     coefficient-only tail coalesces into it (last write per entry wins --
-//     equivalent to applying both in order, one re-solve instead of two);
-//     otherwise a full queue sheds the batch as kQueueFull.  Counters track
-//     accepted / rejected / coalesced / shed.
+//     A batch whose dirty footprint overlaps the queue tail coalesces into
+//     it when the merge is order-equivalent: coefficient edits last-write-
+//     wins (always safe), and STRUCTURAL batches concatenate their remove /
+//     add lists whenever nothing the new batch removes was added or
+//     coefficient-edited by the tail (and the merged batch stays within
+//     max_batch_edits) -- equivalent to applying both in order, one re-solve
+//     instead of two, committing the same state bitwise.  Otherwise a full
+//     queue sheds the batch as kQueueFull.  Counters track accepted /
+//     rejected / coalesced / shed.
 //   * deadlines -- drain() applies queued batches to the committed solver,
 //     each under TenantLimits::apply_budget_us.  An expired budget abandons
 //     that batch TRANSACTIONALLY (IncrementalSolver::apply rolls back

@@ -7,11 +7,11 @@
 namespace locmm {
 
 std::vector<double> Pipeline::map_back(std::span<const double> x_special) const {
-  std::vector<double> x(x_special.begin(), x_special.end());
-  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
-    x = it->back(x);
-  }
-  return x;
+  // The id map's closed form, not the step closures: bitwise equal on a
+  // freshly built pipeline (tests/transform_test.cpp pins the two against
+  // each other), and the only one that stays correct after fast-path edits
+  // updated PipelineIdMap::gamma in place.
+  return id_map.map_back(x_special);
 }
 
 Pipeline to_special_form(const MaxMinInstance& in) {
@@ -24,6 +24,7 @@ Pipeline to_special_form(const MaxMinInstance& in) {
   p.steps.push_back(normalize_objective_coeffs(p.steps.back().instance));
   p.special = p.steps.back().instance;
   for (const TransformStep& s : p.steps) p.ratio_factor *= s.ratio_factor;
+  p.id_map = build_pipeline_id_map(in, p.steps);
   check_special_form(p.special);
   return p;
 }

@@ -1,7 +1,8 @@
 // Tests for the serving layer (src/serve): the ServeStatus error taxonomy
 // (tenant-attributable failures come back as structured rejections, never
 // as CheckError throws), exact admission against the projected instance,
-// bounded-queue backpressure with coefficient-batch coalescing,
+// bounded-queue backpressure with coefficient- and structural-batch
+// coalescing,
 // deadline-degraded serving with idle repair, and -- the headline -- a
 // multi-tenant chaos workload (concurrent valid + malformed +
 // deadline-pressured streams) whose committed state must stay bitwise
@@ -407,6 +408,114 @@ TEST(SolverService, CoalescingHonoursDuplicateEditsInOneBatch) {
   for (std::size_t v = 0; v < got.size(); ++v) {
     ASSERT_TRUE(same_bits(got[v], oracle.x()[v])) << "agent " << v;
   }
+}
+
+TEST(SolverService, OverlappingStructuralBatchesCoalesce) {
+  // Two structural batches on the same |Vi| = 2 row: a rewires {p, q} ->
+  // {q, g}; b rewires {q, g} -> {g, p}.  b removes q -- which a neither
+  // added nor coefficient-edited -- so the merge is order-equivalent and
+  // must coalesce into ONE queued batch whose commit is bitwise what the
+  // two would produce in sequence (including the remove-then-re-add of p).
+  SolverService svc;
+  const MaxMinInstance grid = grid_family(10);
+  ASSERT_TRUE(svc.create_tenant("t", grid).ok());
+
+  const ConstraintId i = 0;
+  const AgentId p = grid.constraint_row(i)[0].agent;
+  const AgentId q = grid.constraint_row(i)[1].agent;
+  AgentId g = -1;
+  for (AgentId v = 0; v < grid.num_agents() && g < 0; ++v) {
+    if (v != p && v != q) g = v;
+  }
+  ASSERT_GE(g, 0);
+  ASSERT_GE(grid.agent_constraints(p).size(), 2u);
+  ASSERT_GE(grid.agent_constraints(q).size(), 2u);
+
+  InstanceDelta a, b;
+  a.remove_from_constraint(i, p).add_to_constraint(i, g, 1.5);
+  b.remove_from_constraint(i, q).add_to_constraint(i, p, 0.75);
+
+  ASSERT_TRUE(svc.submit("t", a).ok());
+  ASSERT_TRUE(svc.submit("t", b).ok());
+  TenantStats st;
+  ASSERT_TRUE(svc.stats("t", &st).ok());
+  EXPECT_EQ(st.coalesced, 1);
+  EXPECT_EQ(st.accepted, 2);
+  EXPECT_EQ(st.queued_batches, 1);  // one merged batch, one re-solve
+
+  EXPECT_TRUE(svc.drain("t").ok());
+  ASSERT_TRUE(svc.stats("t", &st).ok());
+  EXPECT_EQ(st.committed_epoch, 1u);
+
+  IncrementalSolver oracle(grid);
+  oracle.apply(a);
+  oracle.apply(b);
+  const std::vector<double> got = committed_x(svc, "t", grid.num_agents());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    ASSERT_TRUE(same_bits(got[v], oracle.x()[v])) << "agent " << v;
+  }
+}
+
+TEST(SolverService, StructuralCoalesceRefusesUnsafeMerges) {
+  // b removes the very entry a added: concatenating would hoist the remove
+  // ahead of the add and break the batch.  The service must queue b
+  // separately -- and still commit both to the exact sequential state.
+  SolverService svc;
+  const MaxMinInstance grid = grid_family(10);
+  ASSERT_TRUE(svc.create_tenant("t", grid).ok());
+
+  const ConstraintId i = 0;
+  const AgentId p = grid.constraint_row(i)[0].agent;
+  AgentId g = -1;
+  for (AgentId v = 0; v < grid.num_agents() && g < 0; ++v) {
+    if (v != p && v != grid.constraint_row(i)[1].agent) g = v;
+  }
+  ASSERT_GE(g, 0);
+
+  InstanceDelta a, b;
+  a.remove_from_constraint(i, p).add_to_constraint(i, g, 1.5);
+  b.remove_from_constraint(i, g).add_to_constraint(i, p, 0.75);
+
+  ASSERT_TRUE(svc.submit("t", a).ok());
+  ASSERT_TRUE(svc.submit("t", b).ok());
+  TenantStats st;
+  ASSERT_TRUE(svc.stats("t", &st).ok());
+  EXPECT_EQ(st.coalesced, 0);
+  EXPECT_EQ(st.queued_batches, 2);
+
+  EXPECT_TRUE(svc.drain("t").ok());
+  IncrementalSolver oracle(grid);
+  oracle.apply(a);
+  oracle.apply(b);
+  const std::vector<double> got = committed_x(svc, "t", grid.num_agents());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    ASSERT_TRUE(same_bits(got[v], oracle.x()[v])) << "agent " << v;
+  }
+}
+
+TEST(SolverService, StructuralCoalesceHonoursBatchSizeLimit) {
+  // A merge that would exceed max_batch_edits queues separately instead:
+  // coalescing must never manufacture a batch submit() would have rejected.
+  SolverService svc;
+  const MaxMinInstance grid = grid_family(10);
+  TenantOptions opt;
+  opt.limits.max_batch_edits = 3;
+  ASSERT_TRUE(svc.create_tenant("t", grid, opt).ok());
+
+  const ConstraintId i = 0;
+  const AgentId p = grid.constraint_row(i)[0].agent;
+  const AgentId q = grid.constraint_row(i)[1].agent;
+
+  InstanceDelta a, b;
+  a.remove_from_constraint(i, p).add_to_constraint(i, p, 1.5);
+  b.remove_from_constraint(i, q).add_to_constraint(i, q, 0.75);
+
+  ASSERT_TRUE(svc.submit("t", a).ok());
+  ASSERT_TRUE(svc.submit("t", b).ok());  // 2 + 2 > 3: no merge
+  TenantStats st;
+  ASSERT_TRUE(svc.stats("t", &st).ok());
+  EXPECT_EQ(st.coalesced, 0);
+  EXPECT_EQ(st.queued_batches, 2);
 }
 
 TEST(SolverService, DisjointCoeffBatchesDoNotCoalesce) {

@@ -12,6 +12,7 @@
 #include "gen/generators.hpp"
 #include "lp/delta.hpp"
 #include "lp/maxmin_solver.hpp"
+#include "support/prng.hpp"
 
 namespace locmm {
 namespace {
@@ -369,6 +370,76 @@ TEST(LocalResolverTransactional, RejectionsAreStateless) {
     noisy.resolve(good);
     clean.resolve(good);
     expect_bitwise_resolver_state(noisy, clean, "after step");
+  }
+}
+
+// A structural churn batch against a natively-special instance: half
+// remove-then-re-add coefficient refreshes, half |Vi| = 2 rewires.
+InstanceDelta structural_churn(const MaxMinInstance& inst, Rng& rng) {
+  InstanceDelta delta;
+  if (!rng.bernoulli(0.5)) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      const auto i = static_cast<ConstraintId>(
+          rng.below(static_cast<std::uint64_t>(inst.num_constraints())));
+      const auto r = inst.constraint_row(i);
+      const AgentId lose = r[rng.below(2)].agent;
+      if (inst.agent_constraints(lose).size() < 2) continue;
+      const auto gain = static_cast<AgentId>(
+          rng.below(static_cast<std::uint64_t>(inst.num_agents())));
+      if (gain == r[0].agent || gain == r[1].agent) continue;
+      delta.remove_from_constraint(i, lose);
+      delta.add_to_constraint(i, gain, rng.uniform(0.5, 2.0));
+      return delta;
+    }
+  }
+  const auto i = static_cast<ConstraintId>(
+      rng.below(static_cast<std::uint64_t>(inst.num_constraints())));
+  // Refresh the FIRST of the two entries: the re-add appends at the row
+  // end, so the agent sequence provably changes and the differential
+  // oracle cannot express the edit as a coefficient diff.  (Refreshing the
+  // last entry is structurally a no-op -- the diff path would absorb it.)
+  const AgentId v = inst.constraint_row(i)[0].agent;
+  delta.remove_from_constraint(i, v);
+  delta.add_to_constraint(i, v, rng.uniform(0.5, 2.0));
+  return delta;
+}
+
+TEST(LocalResolver, StructuralFastPathMatchesDifferentialOracle) {
+  // Two resolvers over the same churn script: one on the id-map fast path
+  // (map_structural_deltas, the default), one with the knob off -- the
+  // differential oracle, which must re-initialise on every structural edit
+  // because diff_instances cannot express a sparsity change.  The solutions
+  // must agree bitwise after every step regardless of the path taken.
+  const MaxMinInstance grid = special_grid_instance({.rows = 4, .cols = 6}, 2);
+  LocalParams fast;
+  fast.R = 2;
+  fast.engine = LocalEngine::kLocalViews;
+  LocalParams oracle = fast;
+  oracle.map_structural_deltas = false;
+
+  LocalResolver a(grid, fast);
+  LocalResolver b(grid, oracle);
+  MaxMinInstance cur = grid;
+  Rng rng(4242);
+  for (int step = 0; step < 4; ++step) {
+    const InstanceDelta d = structural_churn(cur, rng);
+    a.resolve(d);
+    b.resolve(d);
+    cur.apply(d);
+
+    EXPECT_TRUE(a.last_resolve_was_delta()) << "step " << step;
+    EXPECT_FALSE(b.last_resolve_was_delta()) << "step " << step;
+
+    expect_bitwise_instance(a.instance(), b.instance(), "fast vs oracle");
+    const LocalSolution& sa = a.solution();
+    const LocalSolution& sb = b.solution();
+    EXPECT_TRUE(vectors_bit_equal(sa.x, sb.x)) << "step " << step;
+    EXPECT_TRUE(vectors_bit_equal(sa.x_special, sb.x_special))
+        << "step " << step;
+    EXPECT_TRUE(bits_equal(sa.omega, sb.omega)) << "step " << step;
+    EXPECT_TRUE(bits_equal(sa.omega_special, sb.omega_special))
+        << "step " << step;
+    EXPECT_TRUE(bits_equal(sa.guarantee, sb.guarantee)) << "step " << step;
   }
 }
 
