@@ -14,9 +14,14 @@
 // Expected shape: on thin-view instances (wheel) the cold solve is
 // dominated by the O(D |E|) WL sweep, which the incremental path shrinks to
 // the dirty cone -- speedups far beyond 10x at 10k agents.  On fat-view
-// instances (torus at R = 4) per-class evaluation dominates both paths and
-// the speedup is bounded by (all classes) / (dirty classes); the JSON
-// records both regimes honestly.
+// instances (torus at R = 4) per-class evaluation dominates both paths;
+// without the DP warm start the speedup is bounded by (all classes) /
+// (dirty classes), and the E9d table shows what the fat-view fast path
+// (IncrementalSolver::Options::warm_start -- persisted t-table, cone-only
+// re-bisection, SoA omega sweeps) buys on exactly that regime, same torus
+// with the knob on vs off.  The JSON records all regimes honestly, each E9
+// / E9d row with its per-phase timing split (apply / flood / refine / eval
+// / broadcast).
 //
 // The distributed rows (engine M / S) measure the same story in the
 // message-passing model: a dynamic SyncNetwork replays its recorded
@@ -52,10 +57,12 @@ using namespace locmm;
 namespace {
 
 struct RunResult {
+  std::string table = "E9";  // which table the row belongs to (E9 / E9d)
   std::string generator;
   std::int32_t R = 0;
   std::int64_t agents = 0;
   std::int64_t edits = 0;
+  bool warm = true;            // Options::warm_start (fat-view fast path)
   double cold_ms = 0.0;        // initial IncrementalSolver solve
   double inc_ms = 0.0;         // mean per-edit incremental re-solve
   double scratch_ms = 0.0;     // mean per-edit from-scratch re-solve
@@ -63,21 +70,33 @@ struct RunResult {
   double agents_dirty = 0.0;   // mean dirty-ball size
   double classes_dirty = 0.0;  // mean invalidated classes per edit
   double cache_hits = 0.0;     // mean colour-cache hits per edit
+  // Mean per-edit phase timings of the incremental path (UpdateStats).
+  double apply_us = 0.0;      // instance + derived arrays + graph patch
+  double flood_us = 0.0;      // dirty-ball (and t-cone) BFS
+  double refine_us = 0.0;     // cone-restricted WL recolouring
+  double eval_us = 0.0;       // dirty-class evaluation
+  double broadcast_us = 0.0;  // class-output scatter
+  // Mean per-edit fat-view fast-path counters (zero with warm off).
+  double warm_reused = 0.0;      // t values served from the snapshot
+  double cone_recomputed = 0.0;  // bisections re-run inside the cone
+  double cone_invalidated = 0.0;  // snapshot entries invalidated per edit
   bool identical = true;       // incremental == scratch, bitwise, every edit
 };
 
 RunResult run_workload(const std::string& name, const MaxMinInstance& inst,
-                       std::int32_t R, std::int32_t edits,
-                       std::uint64_t seed) {
+                       std::int32_t R, std::int32_t edits, std::uint64_t seed,
+                       bool warm_start = true) {
   RunResult res;
   res.generator = name;
   res.R = R;
   res.agents = inst.num_agents();
   res.edits = edits;
+  res.warm = warm_start;
 
   Timer cold_timer;
   IncrementalSolver::Options opt;
   opt.R = R;
+  opt.warm_start = warm_start;
   IncrementalSolver inc(inst, opt);
   res.cold_ms = cold_timer.millis();
 
@@ -98,6 +117,14 @@ RunResult run_workload(const std::string& name, const MaxMinInstance& inst,
     res.agents_dirty += static_cast<double>(u.agents_dirty);
     res.classes_dirty += static_cast<double>(u.classes_invalidated);
     res.cache_hits += static_cast<double>(u.class_cache_hits);
+    res.apply_us += u.apply_us;
+    res.flood_us += u.flood_us;
+    res.refine_us += u.refine_us;
+    res.eval_us += u.eval_us;
+    res.broadcast_us += u.broadcast_us;
+    res.warm_reused += static_cast<double>(u.warm_t_reused);
+    res.cone_recomputed += static_cast<double>(u.cone_t_recomputed);
+    res.cone_invalidated += static_cast<double>(u.cone_invalidated);
 
     cur.apply(delta);
     Timer scratch_timer;
@@ -118,6 +145,14 @@ RunResult run_workload(const std::string& name, const MaxMinInstance& inst,
   res.agents_dirty /= n;
   res.classes_dirty /= n;
   res.cache_hits /= n;
+  res.apply_us /= n;
+  res.flood_us /= n;
+  res.refine_us /= n;
+  res.eval_us /= n;
+  res.broadcast_us /= n;
+  res.warm_reused /= n;
+  res.cone_recomputed /= n;
+  res.cone_invalidated /= n;
   res.speedup = res.inc_ms > 0.0 ? res.scratch_ms / res.inc_ms : 0.0;
   LOCMM_CHECK_MSG(res.identical, "incremental re-solve diverged from the "
                                  "from-scratch solve on "
@@ -127,11 +162,14 @@ RunResult run_workload(const std::string& name, const MaxMinInstance& inst,
 
 std::string json_row(const RunResult& r) {
   std::string s = "    {";
-  s += "\"generator\": \"" + r.generator + "\"";
+  s += "\"table\": \"" + r.table + "\"";
+  s += ", \"generator\": \"" + r.generator + "\"";
   s += ", \"engine\": \"L\"";
   s += ", \"R\": " + std::to_string(r.R);
   s += ", \"agents\": " + std::to_string(r.agents);
   s += ", \"edits\": " + std::to_string(r.edits);
+  s += ", \"warm_start\": ";
+  s += r.warm ? "true" : "false";
   s += ", \"cold_ms\": " + std::to_string(r.cold_ms);
   s += ", \"incremental_ms\": " + std::to_string(r.inc_ms);
   s += ", \"scratch_ms\": " + std::to_string(r.scratch_ms);
@@ -139,6 +177,14 @@ std::string json_row(const RunResult& r) {
   s += ", \"agents_dirty\": " + std::to_string(r.agents_dirty);
   s += ", \"classes_invalidated\": " + std::to_string(r.classes_dirty);
   s += ", \"class_cache_hits\": " + std::to_string(r.cache_hits);
+  s += ", \"apply_us\": " + std::to_string(r.apply_us);
+  s += ", \"flood_us\": " + std::to_string(r.flood_us);
+  s += ", \"refine_us\": " + std::to_string(r.refine_us);
+  s += ", \"eval_us\": " + std::to_string(r.eval_us);
+  s += ", \"broadcast_us\": " + std::to_string(r.broadcast_us);
+  s += ", \"warm_t_reused\": " + std::to_string(r.warm_reused);
+  s += ", \"cone_t_recomputed\": " + std::to_string(r.cone_recomputed);
+  s += ", \"cone_invalidated\": " + std::to_string(r.cone_invalidated);
   s += ", \"bit_identical\": ";
   s += r.identical ? "true" : "false";
   s += "}";
@@ -467,6 +513,57 @@ int main(int argc, char** argv) {
   table.note("ISSUE target: speedup >= 10 at R = 4 on a >= 10k-agent "
              "instance (cycle_wheel row)");
   table.print();
+
+  // E9d: the fat-view fast path head-to-head -- the same torus edited with
+  // the DP t-table warm start on vs off.  On fat-view instances per-class
+  // evaluation dominates, and inside each evaluation the t bisections do;
+  // warm start persists the position-independent t values across edits
+  // (Example 2: t_u depends only on u's radius-(4r+3) neighbourhood) and
+  // re-bisects only the edit's t-dependency cone, serving every other
+  // origin from the snapshot.  Outputs are bitwise identical either way --
+  // run_workload compares every edit against the from-scratch solve and
+  // the bench aborts on divergence, so the warm rows are self-checked.
+  const std::int32_t fat_R = smoke ? 3 : 4;
+  Table fat_table(
+      "E9d: fat-view fast path -- DP t-table warm start on/off "
+      "(paired torus, engine L, 1 thread)");
+  fat_table.columns({"warm", "R", "agents", "cold_ms", "inc_ms",
+                     "scratch_ms", "speedup", "t_reused", "t_recomp", "cone",
+                     "identical"});
+  std::vector<RunResult> fat_runs;
+  for (const bool warm : {false, true}) {
+    std::fprintf(stderr, "running fat-view torus R=%d warm=%s (%d agents)...\n",
+                 fat_R, warm ? "on" : "off", grid.num_agents());
+    Timer row_timer;
+    RunResult r =
+        run_workload("paired_torus_grid", grid, fat_R, edits,
+                     4000 + static_cast<std::uint64_t>(fat_R), warm);
+    r.table = "E9d";
+    std::fprintf(stderr, "  done in %.1f s: %.2f ms vs %.1f ms (%.0fx)\n",
+                 row_timer.seconds(), r.inc_ms, r.scratch_ms, r.speedup);
+    fat_table.row({Table::cell(warm ? "on" : "off"), Table::cell(r.R),
+                   Table::cell(r.agents), Table::cell(r.cold_ms, 1),
+                   Table::cell(r.inc_ms, 2), Table::cell(r.scratch_ms, 1),
+                   Table::cell(r.speedup, 1), Table::cell(r.warm_reused, 0),
+                   Table::cell(r.cone_recomputed, 0),
+                   Table::cell(r.cone_invalidated, 0),
+                   Table::cell(r.identical ? "yes" : "NO")});
+    runs.push_back(std::move(r));
+    fat_runs.push_back(runs.back());
+  }
+  fat_table.note("t_reused = snapshot-served bisections per edit; t_recomp "
+                 "= bisections re-run inside the invalidated cone; cone = "
+                 "snapshot entries the edit's radius-(4r+3) flood "
+                 "invalidated");
+  fat_table.note("ISSUE target: warm speedup >= 10 on the full-size torus "
+                 "at R = 4 (~4.5x without the fast path)");
+  fat_table.print();
+  if (!smoke) {
+    LOCMM_CHECK_MSG(fat_runs.back().speedup >= 10.0,
+                    "fat-view warm-start speedup "
+                        << fat_runs.back().speedup << " < 10 on the torus at "
+                        << "R = " << fat_R);
+  }
 
   // Distributed dynamic rows: the same single-coefficient edits carried by
   // SyncNetwork replay.  Each engine runs at TWO sizes; the fresh columns

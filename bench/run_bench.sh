@@ -6,7 +6,11 @@
 #   BENCH_engines.json      engine ablation C/L/M/S (time, rounds, messages,
 #                           bytes, max message size)
 #   BENCH_dynamics.json     incremental (dirty-ball) vs from-scratch re-solve
-#                           after single-coefficient edits (E9)
+#                           after single-coefficient edits (E9), with
+#                           per-phase timings, plus the E9d fat-view rows
+#                           (torus, DP t-table warm start on/off, bitwise
+#                           self-checked -- present in --smoke too at
+#                           CI-sized torus/R)
 #   BENCH_faults.json       recovery overhead under seeded fault injection
 #                           (drop sweep, chaos + crash, permanent crash; E11)
 #   BENCH_serve.json        multi-tenant SolverService churn: sustained

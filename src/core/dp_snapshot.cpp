@@ -1,0 +1,52 @@
+#include "core/dp_snapshot.hpp"
+
+namespace locmm {
+
+namespace {
+
+std::int64_t table_bytes(std::int32_t n) {
+  return static_cast<std::int64_t>(n) *
+         static_cast<std::int64_t>(sizeof(std::atomic<double>) +
+                                   sizeof(std::atomic<std::uint8_t>));
+}
+
+}  // namespace
+
+TValueStore::TValueStore(std::int32_t num_origins,
+                         std::shared_ptr<SnapshotBudget> budget)
+    : budget_(std::move(budget)) {
+  if (num_origins <= 0) return;
+  // Reserve first, roll back on overshoot (the resident_node_budget
+  // protocol): concurrent mints can never settle above the limit.
+  if (budget_ != nullptr) {
+    const std::int64_t want = table_bytes(num_origins);
+    if (budget_->bytes.fetch_add(want, std::memory_order_relaxed) + want >
+        budget_->limit) {
+      budget_->bytes.fetch_sub(want, std::memory_order_relaxed);
+      budget_->drops.fetch_add(1, std::memory_order_relaxed);
+      return;  // disabled: solves simply run cold
+    }
+  }
+  n_ = num_origins;
+  const auto n = static_cast<std::size_t>(n_);
+  t_ = std::make_unique<std::atomic<double>[]>(n);
+  state_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+TValueStore::~TValueStore() {
+  if (n_ > 0 && budget_ != nullptr)
+    budget_->bytes.fetch_sub(table_bytes(n_), std::memory_order_relaxed);
+}
+
+std::int64_t TValueStore::bytes() const {
+  return n_ > 0 ? table_bytes(n_) : 0;
+}
+
+void TValueStore::invalidate_all() {
+  for (std::int32_t o = 0; o < n_; ++o) invalidate(o);
+}
+
+}  // namespace locmm

@@ -1,0 +1,102 @@
+// dp_snapshot.hpp -- persisted DP results for the fat-view fast path.
+//
+// Engine L's dominant cost on fat-view instances (torus at R = 4) is the
+// batched t-bisection of view_solver.cpp: every evaluated representative
+// re-derives t for every agent origin its smoothing balls touch, ~40
+// omega-sweeps per origin.  But t_u is position-independent (PAPER §5,
+// Example 2): its value depends only on u's radius-(4r+3) neighbourhood in
+// G, never on which view it is evaluated in.  So t values computed by ONE
+// class evaluation are valid verbatim for every other evaluation against
+// the same instance -- across the dirty classes of one update and across
+// updates, until an edit lands inside the value's dependency cone.
+//
+// TValueStore is that shared table: a dense origin -> t map owned by one
+// IncrementalSolver (one "snapshot domain"), minted and byte-budgeted
+// through ViewClassCache::new_snapshot_store.  The DP evaluator serves
+// t-needed origins from the store and publishes what it had to bisect; the
+// solver invalidates exactly the edit's t-dependency cone (comm-graph
+// radius 4r+3 around the touched edges) before each re-evaluation.  Every
+// served value is bitwise the value the bisection would reproduce, so
+// warm-started solves stay bit-identical to cold ones.
+//
+// Concurrency: class evaluations run in a parallel_for, so lookups,
+// publishes and the ready flags are atomics (value store-release before the
+// flag, flag load-acquire before the value).  Two threads publishing the
+// same origin race benignly: the bisection is deterministic, so they write
+// identical bits.  Invalidation only runs between evaluations (the solver's
+// single-threaded phases).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace locmm {
+
+// Shared ledger bounding the bytes of all TValueStores minted from one
+// ViewClassCache, the way resident_node_budget bounds representative view
+// copies.  Held by shared_ptr from the cache AND from every store, so a
+// store may outlive the cache that minted it without dangling.
+struct SnapshotBudget {
+  explicit SnapshotBudget(std::int64_t limit_bytes) : limit(limit_bytes) {}
+  const std::int64_t limit;
+  std::atomic<std::int64_t> bytes{0};
+  // Stores refused materialisation for lack of budget (they stay disabled:
+  // every lookup misses, every publish is a no-op -- solves run cold).
+  std::atomic<std::int64_t> drops{0};
+};
+
+class TValueStore {
+ public:
+  // Dense table over [0, num_origins).  Reserves its bytes against `budget`
+  // up front; on overshoot the store is created disabled (lookup always
+  // misses) rather than partially resident, so the budget is a hard cap.
+  TValueStore(std::int32_t num_origins,
+              std::shared_ptr<SnapshotBudget> budget);
+  ~TValueStore();
+
+  TValueStore(const TValueStore&) = delete;
+  TValueStore& operator=(const TValueStore&) = delete;
+
+  bool enabled() const { return n_ > 0; }
+  std::int64_t bytes() const;
+  // Origins currently holding a ready value.
+  std::int64_t entries() const {
+    return ready_.load(std::memory_order_relaxed);
+  }
+
+  // On a hit, writes the stored t into *t and returns true.
+  bool lookup(std::int32_t origin, double* t) const {
+    if (origin < 0 || origin >= n_) return false;
+    const auto o = static_cast<std::size_t>(origin);
+    if (state_[o].load(std::memory_order_acquire) == 0) return false;
+    *t = t_[o].load(std::memory_order_relaxed);
+    return true;
+  }
+
+  void publish(std::int32_t origin, double t) {
+    if (origin < 0 || origin >= n_) return;
+    const auto o = static_cast<std::size_t>(origin);
+    t_[o].store(t, std::memory_order_relaxed);
+    if (state_[o].exchange(1, std::memory_order_release) == 0)
+      ready_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void invalidate(std::int32_t origin) {
+    if (origin < 0 || origin >= n_) return;
+    const auto o = static_cast<std::size_t>(origin);
+    if (state_[o].exchange(0, std::memory_order_relaxed) != 0)
+      ready_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void invalidate_all();
+
+ private:
+  std::int32_t n_ = 0;
+  std::unique_ptr<std::atomic<double>[]> t_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> state_;
+  std::atomic<std::int64_t> ready_{0};
+  std::shared_ptr<SnapshotBudget> budget_;
+};
+
+}  // namespace locmm

@@ -80,6 +80,18 @@ struct TSearchStats {
   std::atomic<std::int64_t> agents_reused{0};
   std::atomic<std::int64_t> classes_invalidated{0};
 
+  // Fat-view fast path (core/dp_snapshot.hpp + the SoA sweeps of
+  // view_solver.cpp).  Per evaluation with a TValueStore attached:
+  // t-needed origins served from the store without re-bisecting, and the
+  // bisections that DID run because the origin sat in the edit's dirty
+  // cone (or was never computed).  vector_sweeps counts the multi-omega
+  // SoA table fills (chunks batching >= 2 distinct probe omegas into one
+  // reverse-topological sweep); omega_sweeps keeps its per-distinct-omega
+  // semantics, so vector_sweeps < omega_sweeps measures the batching.
+  std::atomic<std::int64_t> warm_entries_reused{0};
+  std::atomic<std::int64_t> cone_entries_recomputed{0};
+  std::atomic<std::int64_t> vector_sweeps{0};
+
   void reset() {
     f_evals = 0;
     g_evals = 0;
@@ -97,6 +109,9 @@ struct TSearchStats {
     agents_dirty = 0;
     agents_reused = 0;
     classes_invalidated = 0;
+    warm_entries_reused = 0;
+    cone_entries_recomputed = 0;
+    vector_sweeps = 0;
   }
 };
 

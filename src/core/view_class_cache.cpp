@@ -5,9 +5,18 @@
 namespace locmm {
 
 ViewClassCache::ViewClassCache(const Config& config)
-    : config_(config), shards_(config.shards == 0 ? 16 : config.shards) {
+    : config_(config),
+      shards_(config.shards == 0 ? 16 : config.shards),
+      snapshot_budget_(
+          std::make_shared<SnapshotBudget>(config.snapshot_byte_budget)) {
   LOCMM_CHECK(config_.verify_node_limit >= 0);
   LOCMM_CHECK(config_.resident_node_budget >= 0);
+  LOCMM_CHECK(config_.snapshot_byte_budget >= 0);
+}
+
+std::shared_ptr<TValueStore> ViewClassCache::new_snapshot_store(
+    std::int32_t num_origins) {
+  return std::make_shared<TValueStore>(num_origins, snapshot_budget_);
 }
 
 std::uint64_t ViewClassCache::options_fingerprint(const TSearchOptions& opt) {

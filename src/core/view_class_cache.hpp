@@ -45,10 +45,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/dp_snapshot.hpp"
 #include "core/upper_bound.hpp"
 #include "graph/view_tree.hpp"
 
@@ -62,6 +64,12 @@ class ViewClassCache {
     std::int32_t verify_node_limit = 1 << 20;
     // Total view nodes retained across all shards for exact verification.
     std::int64_t resident_node_budget = 32ll << 20;
+    // Total bytes of DP t-table snapshots (core/dp_snapshot.hpp) minted
+    // through new_snapshot_store, across all stores alive at once.  A hard
+    // cap enforced at mint time: a store that would overshoot is created
+    // disabled (its owner's solves simply run cold) rather than partially
+    // resident.  16 bytes/agent, so the default covers ~4M agents.
+    std::int64_t snapshot_byte_budget = 64ll << 20;
     // Epoch-based eviction of entry records (colour-keyed AND hash-keyed):
     // 0 = keep everything (the default); N > 0 makes begin_epoch() sweep
     // entries whose last hit or insert is more than N epochs old.  The
@@ -128,6 +136,18 @@ class ViewClassCache {
   void begin_epoch();
   std::uint32_t epoch() const { return epoch_.load(); }
 
+  // Mints a per-solver DP t-table snapshot (dense over [0, num_origins)
+  // agent origins), byte-accounted against Config::snapshot_byte_budget the
+  // way representative view copies are accounted against
+  // resident_node_budget.  The returned store holds the budget ledger by
+  // shared_ptr, so it stays safe even if it outlives this cache.  See
+  // core/dp_snapshot.hpp for the serving/invalidation contract.
+  std::shared_ptr<TValueStore> new_snapshot_store(std::int32_t num_origins);
+  // Bytes currently reserved by live snapshot stores / stores refused for
+  // lack of budget.
+  std::int64_t snapshot_bytes() const { return snapshot_budget_->bytes.load(); }
+  std::int64_t snapshot_drops() const { return snapshot_budget_->drops.load(); }
+
   std::int64_t entries() const;
   // Colour-keyed entry records (counted separately from hash-keyed ones).
   std::int64_t color_entries() const;
@@ -181,6 +201,7 @@ class ViewClassCache {
 
   Config config_;
   std::vector<Shard> shards_;
+  std::shared_ptr<SnapshotBudget> snapshot_budget_;
   std::atomic<std::uint32_t> epoch_{0};
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <bit>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "core/dp_snapshot.hpp"
 #include "core/view_class_cache.hpp"
 #include "graph/color_refine.hpp"
 #include "support/thread_pool.hpp"
@@ -30,6 +32,7 @@ struct LocalStats {
   std::int64_t t_searches = 0;
   std::int64_t t_checks = 0;
   std::int64_t omega_sweeps = 0;
+  std::int64_t vector_sweeps = 0;
 
   void flush(TSearchStats* s, std::int64_t nodes) const {
     if (s == nullptr) return;
@@ -38,6 +41,7 @@ struct LocalStats {
     s->t_searches.fetch_add(t_searches, std::memory_order_relaxed);
     s->t_checks.fetch_add(t_checks, std::memory_order_relaxed);
     s->omega_sweeps.fetch_add(omega_sweeps, std::memory_order_relaxed);
+    s->vector_sweeps.fetch_add(vector_sweeps, std::memory_order_relaxed);
     s->view_nodes.fetch_add(nodes, std::memory_order_relaxed);
   }
 };
@@ -328,6 +332,18 @@ class ViewEvaluator {
 namespace detail {
 
 struct DpScratch {
+  // SoA probe lanes: one reverse-topological sweep fills the f tables for
+  // up to kLanes DISTINCT probe omegas at once, each omega occupying a
+  // contiguous lane stripe (state-major, lane-minor: index
+  // (slot * (r+1) + d) * kLanes + lane).  The per-state fmark bytes double
+  // as lane masks -- bit l set means lane l's search cone needs the state
+  // -- which is why kLanes is exactly 8.  Full-mask states (the common
+  // case in fat views, where the lockstep bisections share their cones)
+  // take a branch-free all-lane inner loop the compiler vectorizes; other
+  // states fill only their marked lanes, so total f-work never exceeds the
+  // one-sweep-per-omega baseline.
+  static constexpr std::int32_t kLanes = 8;
+
   // --- origin-indexed, epoch-stamped (O(1) reset, grow-only) ------------
   // Entries are valid only when their epoch matches `epoch`; growth fills
   // epoch 0, which is never current.
@@ -351,8 +367,11 @@ struct DpScratch {
   std::vector<std::int64_t> sib_offsets;  // size slots+1
   std::vector<std::int32_t> sib_origin;
 
-  // --- flat (slot, depth) tables, index slot * (r+1) + d ----------------
-  std::vector<double> f_plus, f_minus;      // per probed omega
+  // --- flat (slot, depth) tables ----------------------------------------
+  // f tables are lane-striped (see kLanes): index (slot*(r+1)+d)*kLanes+l.
+  // The fmark bytes are per-state lane masks.  g tables stay single-lane
+  // (one sweep total), index slot * (r+1) + d.
+  std::vector<double> f_plus, f_minus;
   std::vector<std::uint8_t> fok_plus, fok_minus;  // condition-(8) cone flags
   std::vector<std::uint8_t> fmark_plus, fmark_minus;
   std::vector<double> g_plus, g_minus;
@@ -387,7 +406,20 @@ struct DpScratch {
   };
   std::vector<TSearch> searches;
 
+  // Allocation-churn accounting (ViewEvalScratch::reallocations): one event
+  // per reset that observes the monitored buffers (the largest table and
+  // the origin map) above their previously seen capacity -- i.e. the
+  // PREVIOUS evaluation had to allocate.  Steady-state reuse counts zero.
+  std::int64_t reallocs = 0;
+  std::size_t fcap_seen = 0;
+  std::size_t ocap_seen = 0;
+
   void reset(std::int32_t r) {
+    if (f_plus.capacity() > fcap_seen || origin2slot.capacity() > ocap_seen) {
+      ++reallocs;
+      fcap_seen = f_plus.capacity();
+      ocap_seen = origin2slot.capacity();
+    }
     ++epoch;
     if (epoch == 0) {  // wrapped: stale stamps could collide, wipe them
       slot_epoch.assign(slot_epoch.size(), 0);
@@ -449,18 +481,35 @@ class DpViewEvaluator {
   static constexpr std::uint8_t kArcsMalformed = 1u << 3;
   static constexpr std::uint8_t kSibsMalformed = 1u << 4;
 
+  static constexpr std::int32_t kLanes = detail::DpScratch::kLanes;
+
  public:
   DpViewEvaluator(const ViewTree& view, std::int32_t r,
                   const TSearchOptions& opt, detail::DpScratch& sc,
-                  LocalStats* stats)
-      : view_(view), r_(r), opt_(opt), sc_(sc), stats_(stats) {
+                  LocalStats* stats, DpWarmStart* warm = nullptr)
+      : view_(&view), r_(r), opt_(opt), sc_(sc), stats_(stats), warm_(warm) {
+    sc_.reset(r);
+  }
+
+  // Graph-backed construction (the fat-view fast path): the same DP driven
+  // straight off the comm graph, no materialised view.  Sound and BITWISE
+  // identical to the view-backed run because the DP is origin-keyed
+  // throughout (slot_of collapses every view copy to its origin already)
+  // and a view's adjacency slices are exactly the graph rows in port order
+  // -- the view build only ever re-serialises them.  Skipping the unfold
+  // removes the dominant cost on fat views, where the radius-(12r+5) tree
+  // holds orders of magnitude more copies than the graph ball has origins.
+  DpViewEvaluator(const CommGraph& g, NodeId root, std::int32_t r,
+                  const TSearchOptions& opt, detail::DpScratch& sc,
+                  LocalStats* stats, DpWarmStart* warm = nullptr)
+      : view_(nullptr), g_(&g), groot_(root), r_(r), opt_(opt), sc_(sc),
+        stats_(stats), warm_(warm) {
     sc_.reset(r);
   }
 
   // The output rule (18) for the root agent.
   double x_root() {
-    LOCMM_CHECK(view_.node(0).type == NodeType::kAgent);
-    const std::int32_t root = slot_of(view_.node(0).origin);
+    const std::int32_t root = root_slot();
     for (std::int32_t d = 0; d <= r_; ++d) {
       mark_g_plus(root, d);
       mark_g_minus(root, d);
@@ -477,8 +526,7 @@ class DpViewEvaluator {
   }
 
   double t_root() {
-    LOCMM_CHECK(view_.node(0).type == NodeType::kAgent);
-    const std::int32_t root = slot_of(view_.node(0).origin);
+    const std::int32_t root = root_slot();
     if (!sc_.t_need[static_cast<std::size_t>(root)]) {
       sc_.t_need[static_cast<std::size_t>(root)] = 1;
       sc_.t_list.push_back(root);
@@ -490,6 +538,15 @@ class DpViewEvaluator {
  private:
   // --- slots and adjacency slices ---------------------------------------
 
+  std::int32_t root_slot() {
+    if (g_ != nullptr) {
+      LOCMM_CHECK(g_->type(groot_) == NodeType::kAgent);
+      return slot_of(groot_);
+    }
+    LOCMM_CHECK(view_->node(0).type == NodeType::kAgent);
+    return slot_of(view_->node(0).origin);
+  }
+
   std::int32_t slot_of(NodeId origin) {
     const auto o = static_cast<std::size_t>(origin);
     if (o < sc_.origin2slot.size() && sc_.slot_epoch[o] == sc_.epoch)
@@ -500,13 +557,12 @@ class DpViewEvaluator {
   // The shallowest (most-expanded) copy of `origin`, or -1 when the origin
   // never appears in the view.  Constraint/objective nodes adjacent to an
   // expanded agent copy always appear, so -1 only arises past the frontier.
+  // View-backed mode only.
   std::int32_t rep_of(NodeId origin) const {
-    return view_.representative(origin);
+    return view_->representative(origin);
   }
 
   std::int32_t create_slot(NodeId origin) {
-    const std::int32_t a = rep_of(origin);
-    LOCMM_DCHECK(a >= 0 && view_.node(a).type == NodeType::kAgent);
     const auto slot = static_cast<std::int32_t>(sc_.slot_origin.size());
     const auto o = static_cast<std::size_t>(origin);
     if (o >= sc_.origin2slot.size()) {
@@ -519,76 +575,10 @@ class DpViewEvaluator {
 
     std::uint8_t flags = 0;
     double cap = std::numeric_limits<double>::infinity();
-    std::int32_t objective = -1;
-    bool multi_objective = false;
-    bool arcs_frontier = false, arcs_malformed = false;
-
-    if (view_.expanded(a)) {
-      flags |= kCapOk;
-      const auto ids = view_.neighbor_ids(a);
-      const auto coeffs = view_.neighbor_coeffs(a);
-      for (std::size_t p = 0; p < ids.size(); ++p) {
-        const std::int32_t nbr = ids[p];
-        if (view_.node(nbr).type == NodeType::kConstraint) {
-          cap = std::min(cap, 1.0 / coeffs[p]);
-          // Any expanded copy of the constraint exposes both endpoints;
-          // prefer the shallowest.
-          const std::int32_t c = rep_of(view_.node(nbr).origin);
-          LOCMM_DCHECK(c >= 0);
-          if (!view_.expanded(c)) {
-            arcs_frontier = true;
-            continue;
-          }
-          // The unique partner agent of this |Vi| = 2 constraint.
-          NodeId partner = -1;
-          double a_partner = 0.0;
-          const auto cids = view_.neighbor_ids(c);
-          const auto ccoeffs = view_.neighbor_coeffs(c);
-          for (std::size_t q = 0; q < cids.size(); ++q) {
-            if (view_.node(cids[q]).origin == origin) continue;
-            if (partner >= 0) {
-              arcs_malformed = true;
-              break;
-            }
-            partner = view_.node(cids[q]).origin;
-            a_partner = ccoeffs[q];
-          }
-          if (partner < 0) arcs_malformed = true;
-          if (!arcs_malformed) {
-            sc_.arc_partner.push_back(partner);
-            sc_.arc_a_self.push_back(coeffs[p]);
-            sc_.arc_a_partner.push_back(a_partner);
-          }
-        } else if (view_.node(nbr).type == NodeType::kObjective) {
-          if (objective >= 0) {
-            multi_objective = true;
-          } else {
-            objective = rep_of(view_.node(nbr).origin);
-            LOCMM_DCHECK(objective >= 0);
-          }
-        }
-      }
-      if (!arcs_frontier && !arcs_malformed) flags |= kArcsOk;
-      if (arcs_malformed) flags |= kArcsMalformed;
-
-      if (objective < 0 || multi_objective) {
-        flags |= kSibsMalformed;
-      } else if (view_.expanded(objective)) {
-        bool sibs_malformed = false;
-        for (const std::int32_t w : view_.neighbor_ids(objective)) {
-          if (view_.node(w).type != NodeType::kAgent) {
-            sibs_malformed = true;
-            break;
-          }
-          if (view_.node(w).origin != origin)
-            sc_.sib_origin.push_back(view_.node(w).origin);
-        }
-        if (sibs_malformed) {
-          flags |= kSibsMalformed;
-        } else {
-          flags |= kSibsOk;
-        }
-      }
+    if (g_ != nullptr) {
+      harvest_graph(origin, flags, cap);
+    } else {
+      harvest_view(origin, flags, cap);
     }
 
     sc_.arc_offsets.push_back(static_cast<std::int64_t>(sc_.arc_partner.size()));
@@ -598,10 +588,11 @@ class DpViewEvaluator {
 
     const auto rows = (static_cast<std::size_t>(slot) + 1) *
                       (static_cast<std::size_t>(r_) + 1);
-    sc_.f_plus.resize(rows);
-    sc_.f_minus.resize(rows);
-    sc_.fok_plus.resize(rows, 0);
-    sc_.fok_minus.resize(rows, 0);
+    const auto lane_rows = rows * static_cast<std::size_t>(kLanes);
+    sc_.f_plus.resize(lane_rows);
+    sc_.f_minus.resize(lane_rows);
+    sc_.fok_plus.resize(lane_rows, 0);
+    sc_.fok_minus.resize(lane_rows, 0);
     sc_.fmark_plus.resize(rows, 0);
     sc_.fmark_minus.resize(rows, 0);
     sc_.g_plus.resize(rows);
@@ -615,12 +606,152 @@ class DpViewEvaluator {
     return slot;
   }
 
+  // Harvests the slot's cap / arc / sibling slices from the materialised
+  // view (the shallowest copy of `origin`).
+  void harvest_view(NodeId origin, std::uint8_t& flags, double& cap) {
+    const std::int32_t a = rep_of(origin);
+    LOCMM_DCHECK(a >= 0 && view_->node(a).type == NodeType::kAgent);
+    std::int32_t objective = -1;
+    bool multi_objective = false;
+    bool arcs_frontier = false, arcs_malformed = false;
+
+    if (!view_->expanded(a)) return;
+    flags |= kCapOk;
+    const auto ids = view_->neighbor_ids(a);
+    const auto coeffs = view_->neighbor_coeffs(a);
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      const std::int32_t nbr = ids[p];
+      if (view_->node(nbr).type == NodeType::kConstraint) {
+        cap = std::min(cap, 1.0 / coeffs[p]);
+        // Any expanded copy of the constraint exposes both endpoints;
+        // prefer the shallowest.
+        const std::int32_t c = rep_of(view_->node(nbr).origin);
+        LOCMM_DCHECK(c >= 0);
+        if (!view_->expanded(c)) {
+          arcs_frontier = true;
+          continue;
+        }
+        // The unique partner agent of this |Vi| = 2 constraint.
+        NodeId partner = -1;
+        double a_partner = 0.0;
+        const auto cids = view_->neighbor_ids(c);
+        const auto ccoeffs = view_->neighbor_coeffs(c);
+        for (std::size_t q = 0; q < cids.size(); ++q) {
+          if (view_->node(cids[q]).origin == origin) continue;
+          if (partner >= 0) {
+            arcs_malformed = true;
+            break;
+          }
+          partner = view_->node(cids[q]).origin;
+          a_partner = ccoeffs[q];
+        }
+        if (partner < 0) arcs_malformed = true;
+        if (!arcs_malformed) {
+          sc_.arc_partner.push_back(partner);
+          sc_.arc_a_self.push_back(coeffs[p]);
+          sc_.arc_a_partner.push_back(a_partner);
+        }
+      } else if (view_->node(nbr).type == NodeType::kObjective) {
+        if (objective >= 0) {
+          multi_objective = true;
+        } else {
+          objective = rep_of(view_->node(nbr).origin);
+          LOCMM_DCHECK(objective >= 0);
+        }
+      }
+    }
+    if (!arcs_frontier && !arcs_malformed) flags |= kArcsOk;
+    if (arcs_malformed) flags |= kArcsMalformed;
+
+    if (objective < 0 || multi_objective) {
+      flags |= kSibsMalformed;
+    } else if (view_->expanded(objective)) {
+      bool sibs_malformed = false;
+      for (const std::int32_t w : view_->neighbor_ids(objective)) {
+        if (view_->node(w).type != NodeType::kAgent) {
+          sibs_malformed = true;
+          break;
+        }
+        if (view_->node(w).origin != origin)
+          sc_.sib_origin.push_back(view_->node(w).origin);
+      }
+      if (sibs_malformed) {
+        flags |= kSibsMalformed;
+      } else {
+        flags |= kSibsOk;
+      }
+    }
+  }
+
+  // The graph-backed twin of harvest_view: identical slice contents in
+  // identical (port) order -- a view copy's neighbour list IS the graph row
+  // of its origin, re-serialised by the unfold -- so every downstream value
+  // lands bitwise the same.  A graph slot is never a frontier: every flag
+  // is decided here and fail_frontier stays unreachable in graph mode.
+  void harvest_graph(NodeId origin, std::uint8_t& flags, double& cap) {
+    LOCMM_DCHECK(g_->type(origin) == NodeType::kAgent);
+    flags |= kCapOk;
+    NodeId objective = -1;
+    bool multi_objective = false;
+    bool arcs_malformed = false;
+    for (const HalfEdge& e : g_->neighbors(origin)) {
+      if (g_->type(e.to) == NodeType::kConstraint) {
+        cap = std::min(cap, 1.0 / e.coeff);
+        // The unique partner agent of this |Vi| = 2 constraint.
+        NodeId partner = -1;
+        double a_partner = 0.0;
+        for (const HalfEdge& ce : g_->neighbors(e.to)) {
+          if (ce.to == origin) continue;
+          if (partner >= 0) {
+            arcs_malformed = true;
+            break;
+          }
+          partner = ce.to;
+          a_partner = ce.coeff;
+        }
+        if (partner < 0) arcs_malformed = true;
+        if (!arcs_malformed) {
+          sc_.arc_partner.push_back(partner);
+          sc_.arc_a_self.push_back(e.coeff);
+          sc_.arc_a_partner.push_back(a_partner);
+        }
+      } else if (g_->type(e.to) == NodeType::kObjective) {
+        if (objective >= 0) {
+          multi_objective = true;
+        } else {
+          objective = e.to;
+        }
+      }
+    }
+    if (!arcs_malformed) flags |= kArcsOk;
+    if (arcs_malformed) flags |= kArcsMalformed;
+
+    if (objective < 0 || multi_objective) {
+      flags |= kSibsMalformed;
+    } else {
+      bool sibs_malformed = false;
+      for (const HalfEdge& oe : g_->neighbors(objective)) {
+        if (g_->type(oe.to) != NodeType::kAgent) {
+          sibs_malformed = true;
+          break;
+        }
+        if (oe.to != origin) sc_.sib_origin.push_back(oe.to);
+      }
+      if (sibs_malformed) {
+        flags |= kSibsMalformed;
+      } else {
+        flags |= kSibsOk;
+      }
+    }
+  }
+
   void fail_frontier(std::int32_t slot) {
+    LOCMM_CHECK(view_ != nullptr);  // graph slots are never frontiers
     const std::int32_t node =
         rep_of(sc_.slot_origin[static_cast<std::size_t>(slot)]);
     LOCMM_CHECK_MSG(false, "evaluation reached the view frontier (depth "
-                               << (node >= 0 ? view_.node(node).depth : -1)
-                               << " of " << view_.depth()
+                               << (node >= 0 ? view_->node(node).depth : -1)
+                               << " of " << view_->depth()
                                << "); view_radius() is too small");
   }
 
@@ -751,12 +882,30 @@ class DpViewEvaluator {
   // probe sequence are exactly the naive engine's, so results agree
   // bit-for-bit.  hi = sum of inv_cap over the objective row, own term
   // first (matching SpecialFormInstance::t_search_upper).
+  //
+  // Warm start (fat-view fast path): with a TValueStore attached, t-needed
+  // origins whose value is ready in the store are served outright -- no
+  // search, no sweeps -- and every bisection actually run publishes its
+  // result back.  t is position-independent (Example 2), so a stored value
+  // is bitwise what this bisection would recompute, PROVIDED the caller
+  // invalidated every origin within comm-graph distance 4r+3 of an edit
+  // (the farthest coefficient the t recursion reads).  IncrementalSolver
+  // maintains exactly that cone.
   void run_t_searches() {
-    if (stats_ != nullptr) stats_->t_searches +=
-        static_cast<std::int64_t>(sc_.t_list.size());
+    TValueStore* const store = warm_ != nullptr ? warm_->store : nullptr;
     sc_.searches.clear();
     sc_.searches.reserve(sc_.t_list.size());
     for (const std::int32_t slot : sc_.t_list) {
+      if (store != nullptr) {
+        double tv;
+        if (store->lookup(sc_.slot_origin[static_cast<std::size_t>(slot)],
+                          &tv)) {
+          sc_.t_val[static_cast<std::size_t>(slot)] = tv;
+          ++warm_->reused;
+          continue;
+        }
+        ++warm_->recomputed;
+      }
       detail::DpScratch::TSearch ts;
       ts.slot = slot;
       use_cap(slot);
@@ -774,11 +923,14 @@ class DpViewEvaluator {
       ts.eps = opt_.tol * std::max(1.0, hi);
       sc_.searches.push_back(ts);
     }
+    if (stats_ != nullptr)
+      stats_->t_searches += static_cast<std::int64_t>(sc_.searches.size());
 
     std::size_t remaining = sc_.searches.size();
     while (remaining > 0) {
       // Group the active searches by the bit pattern of their next probe:
-      // every group shares one omega-table fill.
+      // every group shares one omega-table fill, and up to kLanes DISTINCT
+      // omegas batch into one SoA sweep.
       sc_.probes.clear();
       for (std::size_t i = 0; i < sc_.searches.size(); ++i) {
         const auto& ts = sc_.searches[i];
@@ -792,27 +944,40 @@ class DpViewEvaluator {
       std::sort(sc_.probes.begin(), sc_.probes.end());
       std::size_t i = 0;
       while (i < sc_.probes.size()) {
-        std::size_t j = i;
-        while (j < sc_.probes.size() &&
-               sc_.probes[j].first == sc_.probes[i].first) {
-          ++j;
+        double lane_omega[kLanes];
+        std::size_t lane_begin[kLanes + 1];
+        std::int32_t lanes = 0;
+        while (i < sc_.probes.size() && lanes < kLanes) {
+          lane_begin[lanes] = i;
+          lane_omega[lanes] = std::bit_cast<double>(sc_.probes[i].first);
+          std::size_t j = i;
+          while (j < sc_.probes.size() &&
+                 sc_.probes[j].first == sc_.probes[i].first) {
+            ++j;
+          }
+          ++lanes;
+          i = j;
         }
-        const double omega = std::bit_cast<double>(sc_.probes[i].first);
-        sweep_f(omega, i, j);
-        for (std::size_t m = i; m < j; ++m) {
-          auto& ts =
-              sc_.searches[static_cast<std::size_t>(sc_.probes[m].second)];
-          const std::int64_t root = at(ts.slot, r_);
-          const bool ok =
-              sc_.fok_minus[static_cast<std::size_t>(root)] != 0 &&
-              sc_.f_minus[static_cast<std::size_t>(root)] <= ts.cap;  // (9)
-          if (advance(ts, omega, ok)) --remaining;
+        lane_begin[lanes] = i;
+        sweep_f(lane_omega, lane_begin, lanes);
+        for (std::int32_t l = 0; l < lanes; ++l) {
+          for (std::size_t m = lane_begin[l]; m < lane_begin[l + 1]; ++m) {
+            auto& ts =
+                sc_.searches[static_cast<std::size_t>(sc_.probes[m].second)];
+            const std::int64_t root = at(ts.slot, r_) * kLanes + l;
+            const bool ok =
+                sc_.fok_minus[static_cast<std::size_t>(root)] != 0 &&
+                sc_.f_minus[static_cast<std::size_t>(root)] <= ts.cap;  // (9)
+            if (advance(ts, lane_omega[l], ok)) --remaining;
+          }
         }
-        i = j;
       }
     }
     for (const auto& ts : sc_.searches) {
       sc_.t_val[static_cast<std::size_t>(ts.slot)] = ts.result;
+      if (store != nullptr)
+        store->publish(sc_.slot_origin[static_cast<std::size_t>(ts.slot)],
+                       ts.result);
     }
   }
 
@@ -852,64 +1017,154 @@ class DpViewEvaluator {
     return true;
   }
 
-  // Fills the f±/fok tables at `omega` for the dependency cones of the
-  // searches in probes[begin, end): a marking pass gathers the needed
-  // states into depth-major buckets, then one bottom-up sweep (d ascending,
-  // f+ before f-) evaluates each state exactly once.
-  void sweep_f(double omega, std::size_t begin, std::size_t end) {
-    if (stats_ != nullptr) ++stats_->omega_sweeps;
-    for (std::size_t m = begin; m < end; ++m) {
-      mark_f_minus(
-          sc_.searches[static_cast<std::size_t>(sc_.probes[m].second)].slot,
-          r_);
+  // Fills the f±/fok tables for up to kLanes distinct omegas in ONE
+  // reverse-topological sweep (SoA batching): lane l holds omega
+  // lane_omega[l], whose searches sit in probes[lane_begin[l],
+  // lane_begin[l+1]).  A marking pass gathers each lane's dependency cone
+  // into the shared depth-major buckets, recording per-state LANE MASKS in
+  // the fmark bytes (bit l = lane l needs this state).  The fill then walks
+  // each bucketed state once: full-mask states take the branch-free
+  // all-lane loop (contiguous stripes of kLanes doubles -- the compiler's
+  // vectorization target), partial-mask states fill only their marked
+  // lanes.  Per-lane floating-point op order is IDENTICAL to the scalar
+  // single-omega sweep, so results are bitwise unchanged, and total f-work
+  // equals the sum of the per-omega cones -- batching never inflates it.
+  void sweep_f(const double* lane_omega, const std::size_t* lane_begin,
+               std::int32_t lanes) {
+    if (stats_ != nullptr) {
+      stats_->omega_sweeps += lanes;  // per-distinct-omega semantics
+      if (lanes >= 2) ++stats_->vector_sweeps;
     }
+    for (std::int32_t l = 0; l < lanes; ++l) {
+      const auto bit = static_cast<std::uint8_t>(1u << l);
+      for (std::size_t m = lane_begin[l]; m < lane_begin[l + 1]; ++m) {
+        mark_f_minus(
+            sc_.searches[static_cast<std::size_t>(sc_.probes[m].second)].slot,
+            r_, bit);
+      }
+    }
+    const auto full =
+        static_cast<std::uint8_t>((1u << lanes) - 1u);  // all-lane mask
     std::int64_t evals = 0;
     for (std::int32_t d = 0; d <= r_; ++d) {
       auto& plus_bucket = sc_.fbucket_plus[static_cast<std::size_t>(d)];
       for (const std::int32_t s : plus_bucket) {
-        const std::int64_t q = at(s, d);
-        double val;
-        std::uint8_t ok = 1;
+        const std::uint8_t mask =
+            sc_.fmark_plus[static_cast<std::size_t>(at(s, d))];
+        const std::int64_t base = at(s, d) * kLanes;
+        evals += std::popcount(static_cast<unsigned>(mask));
         if (d == 0) {
-          val = sc_.inv_cap[static_cast<std::size_t>(s)];  // (5)
-        } else {
-          val = std::numeric_limits<double>::infinity();
+          const double val = sc_.inv_cap[static_cast<std::size_t>(s)];  // (5)
+          const std::uint8_t ok = val >= 0.0 ? 1 : 0;  // condition (8)
+          for (std::int32_t l = 0; l < lanes; ++l) {
+            sc_.f_plus[static_cast<std::size_t>(base + l)] = val;
+            sc_.fok_plus[static_cast<std::size_t>(base + l)] = ok;
+          }
+          continue;
+        }
+        if (mask == full) {
+          // All lanes need this state: one pass over the arcs, a stripe of
+          // lanes per arc -- the vectorizable hot path.
+          double vals[kLanes];
+          std::uint8_t oks[kLanes];
+          for (std::int32_t l = 0; l < lanes; ++l) {
+            vals[l] = std::numeric_limits<double>::infinity();
+            oks[l] = 1;
+          }
           for (std::int64_t j = sc_.arc_offsets[static_cast<std::size_t>(s)];
                j < sc_.arc_offsets[static_cast<std::size_t>(s) + 1]; ++j) {
             const std::int32_t ps =
                 sc_.origin2slot[static_cast<std::size_t>(
                     sc_.arc_partner[static_cast<std::size_t>(j)])];
-            const std::int64_t dep = at(ps, d - 1);
+            const std::int64_t depb = at(ps, d - 1) * kLanes;
+            const double ap =
+                sc_.arc_a_partner[static_cast<std::size_t>(j)];
+            const double as = sc_.arc_a_self[static_cast<std::size_t>(j)];
+            for (std::int32_t l = 0; l < lanes; ++l) {
+              oks[l] &= sc_.fok_minus[static_cast<std::size_t>(depb + l)];
+              vals[l] = std::min(
+                  vals[l],
+                  (1.0 -
+                   ap * sc_.f_minus[static_cast<std::size_t>(depb + l)]) /
+                      as);  // (7)
+            }
+          }
+          for (std::int32_t l = 0; l < lanes; ++l) {
+            if (!(vals[l] >= 0.0)) oks[l] = 0;  // condition (8)
+            sc_.f_plus[static_cast<std::size_t>(base + l)] = vals[l];
+            sc_.fok_plus[static_cast<std::size_t>(base + l)] = oks[l];
+          }
+          continue;
+        }
+        // Partial mask: scalar chain per marked lane (same arc order).
+        for (std::int32_t l = 0; l < lanes; ++l) {
+          if ((mask & (1u << l)) == 0) continue;
+          double val = std::numeric_limits<double>::infinity();
+          std::uint8_t ok = 1;
+          for (std::int64_t j = sc_.arc_offsets[static_cast<std::size_t>(s)];
+               j < sc_.arc_offsets[static_cast<std::size_t>(s) + 1]; ++j) {
+            const std::int32_t ps =
+                sc_.origin2slot[static_cast<std::size_t>(
+                    sc_.arc_partner[static_cast<std::size_t>(j)])];
+            const std::int64_t dep = at(ps, d - 1) * kLanes + l;
             ok &= sc_.fok_minus[static_cast<std::size_t>(dep)];
             val = std::min(
                 val, (1.0 - sc_.arc_a_partner[static_cast<std::size_t>(j)] *
                                 sc_.f_minus[static_cast<std::size_t>(dep)]) /
                          sc_.arc_a_self[static_cast<std::size_t>(j)]);  // (7)
           }
+          if (!(val >= 0.0)) ok = 0;  // condition (8)
+          sc_.f_plus[static_cast<std::size_t>(base + l)] = val;
+          sc_.fok_plus[static_cast<std::size_t>(base + l)] = ok;
         }
-        if (!(val >= 0.0)) ok = 0;  // condition (8)
-        sc_.f_plus[static_cast<std::size_t>(q)] = val;
-        sc_.fok_plus[static_cast<std::size_t>(q)] = ok;
       }
       auto& minus_bucket = sc_.fbucket_minus[static_cast<std::size_t>(d)];
       for (const std::int32_t s : minus_bucket) {
-        const std::int64_t q = at(s, d);
-        double sum = 0.0;
-        std::uint8_t ok = 1;
-        for (std::int64_t j = sc_.sib_offsets[static_cast<std::size_t>(s)];
-             j < sc_.sib_offsets[static_cast<std::size_t>(s) + 1]; ++j) {
-          const std::int32_t ws = sc_.origin2slot[static_cast<std::size_t>(
-              sc_.sib_origin[static_cast<std::size_t>(j)])];
-          const std::int64_t dep = at(ws, d);
-          sum += sc_.f_plus[static_cast<std::size_t>(dep)];
-          ok &= sc_.fok_plus[static_cast<std::size_t>(dep)];
+        const std::uint8_t mask =
+            sc_.fmark_minus[static_cast<std::size_t>(at(s, d))];
+        const std::int64_t base = at(s, d) * kLanes;
+        evals += std::popcount(static_cast<unsigned>(mask));
+        if (mask == full) {
+          double sums[kLanes];
+          std::uint8_t oks[kLanes];
+          for (std::int32_t l = 0; l < lanes; ++l) {
+            sums[l] = 0.0;
+            oks[l] = 1;
+          }
+          for (std::int64_t j = sc_.sib_offsets[static_cast<std::size_t>(s)];
+               j < sc_.sib_offsets[static_cast<std::size_t>(s) + 1]; ++j) {
+            const std::int32_t ws = sc_.origin2slot[static_cast<std::size_t>(
+                sc_.sib_origin[static_cast<std::size_t>(j)])];
+            const std::int64_t depb = at(ws, d) * kLanes;
+            for (std::int32_t l = 0; l < lanes; ++l) {
+              sums[l] += sc_.f_plus[static_cast<std::size_t>(depb + l)];
+              oks[l] &= sc_.fok_plus[static_cast<std::size_t>(depb + l)];
+            }
+          }
+          for (std::int32_t l = 0; l < lanes; ++l) {
+            sc_.f_minus[static_cast<std::size_t>(base + l)] =
+                std::max(0.0, lane_omega[l] - sums[l]);  // (6)
+            sc_.fok_minus[static_cast<std::size_t>(base + l)] = oks[l];
+          }
+          continue;
         }
-        sc_.f_minus[static_cast<std::size_t>(q)] =
-            std::max(0.0, omega - sum);  // (6)
-        sc_.fok_minus[static_cast<std::size_t>(q)] = ok;
+        for (std::int32_t l = 0; l < lanes; ++l) {
+          if ((mask & (1u << l)) == 0) continue;
+          double sum = 0.0;
+          std::uint8_t ok = 1;
+          for (std::int64_t j = sc_.sib_offsets[static_cast<std::size_t>(s)];
+               j < sc_.sib_offsets[static_cast<std::size_t>(s) + 1]; ++j) {
+            const std::int32_t ws = sc_.origin2slot[static_cast<std::size_t>(
+                sc_.sib_origin[static_cast<std::size_t>(j)])];
+            const std::int64_t dep = at(ws, d) * kLanes + l;
+            sum += sc_.f_plus[static_cast<std::size_t>(dep)];
+            ok &= sc_.fok_plus[static_cast<std::size_t>(dep)];
+          }
+          sc_.f_minus[static_cast<std::size_t>(base + l)] =
+              std::max(0.0, lane_omega[l] - sum);  // (6)
+          sc_.fok_minus[static_cast<std::size_t>(base + l)] = ok;
+        }
       }
-      evals += static_cast<std::int64_t>(plus_bucket.size()) +
-               static_cast<std::int64_t>(minus_bucket.size());
     }
     if (stats_ != nullptr) stats_->f_evals += evals;
     // Unmark via the buckets (O(touched), not O(table)).
@@ -924,11 +1179,15 @@ class DpViewEvaluator {
     }
   }
 
-  void mark_f_plus(std::int32_t slot, std::int32_t d) {
+  // Marks state (slot, d, ±) as needed by lane `bit` and recurses into its
+  // dependencies.  A state enters its bucket on FIRST marking only; later
+  // lanes just OR their bit in, but must still recurse -- their cone may
+  // extend past states another lane already marked.
+  void mark_f_plus(std::int32_t slot, std::int32_t d, std::uint8_t bit) {
     auto& mark = sc_.fmark_plus[static_cast<std::size_t>(at(slot, d))];
-    if (mark) return;
-    mark = 1;
-    sc_.fbucket_plus[static_cast<std::size_t>(d)].push_back(slot);
+    if (mark & bit) return;
+    if (mark == 0) sc_.fbucket_plus[static_cast<std::size_t>(d)].push_back(slot);
+    mark |= bit;
     if (d == 0) {
       use_cap(slot);
       return;
@@ -937,19 +1196,20 @@ class DpViewEvaluator {
     for (std::int64_t j = sc_.arc_offsets[static_cast<std::size_t>(slot)];
          j < sc_.arc_offsets[static_cast<std::size_t>(slot) + 1]; ++j) {
       mark_f_minus(slot_of(sc_.arc_partner[static_cast<std::size_t>(j)]),
-                   d - 1);
+                   d - 1, bit);
     }
   }
 
-  void mark_f_minus(std::int32_t slot, std::int32_t d) {
+  void mark_f_minus(std::int32_t slot, std::int32_t d, std::uint8_t bit) {
     auto& mark = sc_.fmark_minus[static_cast<std::size_t>(at(slot, d))];
-    if (mark) return;
-    mark = 1;
-    sc_.fbucket_minus[static_cast<std::size_t>(d)].push_back(slot);
+    if (mark & bit) return;
+    if (mark == 0)
+      sc_.fbucket_minus[static_cast<std::size_t>(d)].push_back(slot);
+    mark |= bit;
     use_sibs(slot);
     for (std::int64_t j = sc_.sib_offsets[static_cast<std::size_t>(slot)];
          j < sc_.sib_offsets[static_cast<std::size_t>(slot) + 1]; ++j) {
-      mark_f_plus(slot_of(sc_.sib_origin[static_cast<std::size_t>(j)]), d);
+      mark_f_plus(slot_of(sc_.sib_origin[static_cast<std::size_t>(j)]), d, bit);
     }
   }
 
@@ -1015,11 +1275,14 @@ class DpViewEvaluator {
     if (stats_ != nullptr) stats_->g_evals += evals;
   }
 
-  const ViewTree& view_;
+  const ViewTree* view_ = nullptr;  // view-backed mode
+  const CommGraph* g_ = nullptr;    // graph-backed mode (fat-view fast path)
+  NodeId groot_ = -1;               // root agent node in graph-backed mode
   std::int32_t r_;
   const TSearchOptions& opt_;
   detail::DpScratch& sc_;
   LocalStats* stats_;
+  DpWarmStart* warm_;
 };
 
 }  // namespace
@@ -1030,9 +1293,52 @@ ViewEvalScratch::ViewEvalScratch(ViewEvalScratch&&) noexcept = default;
 ViewEvalScratch& ViewEvalScratch::operator=(ViewEvalScratch&&) noexcept =
     default;
 
+std::int64_t ViewEvalScratch::reallocations() const { return impl_->reallocs; }
+
+// One arena = everything a class evaluation touches for buffers: the view
+// build target and the DP tables.
+struct EvalScratchPoolArena {
+  ViewTree view;
+  ViewEvalScratch scratch;
+};
+
+EvalScratchPool::EvalScratchPool() = default;
+EvalScratchPool::~EvalScratchPool() = default;
+
+EvalScratchPool::Lease::Lease(EvalScratchPool& pool) : pool_(pool) {
+  std::lock_guard<std::mutex> lk(pool_.mu_);
+  if (!pool_.free_.empty()) {
+    arena_ = pool_.free_.back();
+    pool_.free_.pop_back();
+  } else {
+    pool_.arenas_.push_back(std::make_unique<EvalScratchPoolArena>());
+    arena_ = pool_.arenas_.back().get();
+  }
+}
+
+EvalScratchPool::Lease::~Lease() {
+  std::lock_guard<std::mutex> lk(pool_.mu_);
+  pool_.free_.push_back(arena_);
+}
+
+ViewTree& EvalScratchPool::Lease::view() { return arena_->view; }
+ViewEvalScratch& EvalScratchPool::Lease::scratch() { return arena_->scratch; }
+
+std::int64_t EvalScratchPool::arenas() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<std::int64_t>(arenas_.size());
+}
+
+std::int64_t EvalScratchPool::table_reallocations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::int64_t total = 0;
+  for (const auto& a : arenas_) total += a->scratch.reallocations();
+  return total;
+}
+
 double solve_agent_from_view(const ViewTree& view, std::int32_t R,
                              const TSearchOptions& opt,
-                             ViewEvalScratch* scratch) {
+                             ViewEvalScratch* scratch, DpWarmStart* warm) {
   LOCMM_CHECK(R >= 2);
   LocalStats stats;
   double x;
@@ -1043,12 +1349,46 @@ double solve_agent_from_view(const ViewTree& view, std::int32_t R,
     ViewEvalScratch local_scratch;
     DpViewEvaluator eval(view, R - 2, opt,
                          (scratch ? *scratch : local_scratch).impl(),
-                         opt.stats ? &stats : nullptr);
+                         opt.stats ? &stats : nullptr, warm);
     x = eval.x_root();
   }
   stats.flush(opt.stats, view.size());
-  if (opt.stats != nullptr)
+  if (opt.stats != nullptr) {
     opt.stats->view_evals.fetch_add(1, std::memory_order_relaxed);
+    if (warm != nullptr) {
+      opt.stats->warm_entries_reused.fetch_add(warm->reused,
+                                               std::memory_order_relaxed);
+      opt.stats->cone_entries_recomputed.fetch_add(warm->recomputed,
+                                                   std::memory_order_relaxed);
+    }
+  }
+  return x;
+}
+
+double solve_agent_on_graph(const CommGraph& g, AgentId v, std::int32_t R,
+                            const TSearchOptions& opt,
+                            ViewEvalScratch* scratch, DpWarmStart* warm) {
+  LOCMM_CHECK(R >= 2);
+  // The view-free construction exists for the memoized DP only; the naive
+  // engine is view-based by definition (it is the differential oracle for
+  // exactly this equivalence).
+  LOCMM_CHECK(opt.engine == ViewEngine::kMemoizedDp);
+  LocalStats stats;
+  ViewEvalScratch local_scratch;
+  DpViewEvaluator eval(g, g.agent_node(v), R - 2, opt,
+                       (scratch ? *scratch : local_scratch).impl(),
+                       opt.stats ? &stats : nullptr, warm);
+  const double x = eval.x_root();
+  stats.flush(opt.stats, 0);  // no view materialised
+  if (opt.stats != nullptr) {
+    opt.stats->view_evals.fetch_add(1, std::memory_order_relaxed);
+    if (warm != nullptr) {
+      opt.stats->warm_entries_reused.fetch_add(warm->reused,
+                                               std::memory_order_relaxed);
+      opt.stats->cone_entries_recomputed.fetch_add(warm->recomputed,
+                                                   std::memory_order_relaxed);
+    }
+  }
   return x;
 }
 
@@ -1136,9 +1476,19 @@ std::vector<double> solve_special_local_views(const MaxMinInstance& special,
 ClassEvalResult evaluate_view_classes(const CommGraph& g,
                                       const ViewClasses& classes,
                                       std::int32_t R, const TSearchOptions& opt,
-                                      std::size_t threads) {
+                                      std::size_t threads,
+                                      TValueStore* warm_store,
+                                      EvalScratchPool* pool) {
   const std::int32_t D = view_radius(R);
   const auto num_classes = static_cast<std::size_t>(classes.num_classes());
+  // The warm-start contract (position-independent t, bitwise-reproducible
+  // bisections) holds for the memoized DP only; other engines ignore the
+  // store rather than corrupt it.
+  TValueStore* const wstore =
+      (warm_store != nullptr && opt.engine == ViewEngine::kMemoizedDp &&
+       warm_store->enabled())
+          ? warm_store
+          : nullptr;
   ClassEvalResult res;
   res.x_class.assign(num_classes, 0.0);
   if (num_classes == 0) return res;
@@ -1154,6 +1504,8 @@ ClassEvalResult evaluate_view_classes(const CommGraph& g,
   std::vector<double>& xc = res.x_class;
   std::atomic<std::int64_t> cache_hits{0};
   std::atomic<std::int64_t> evals{0};
+  std::atomic<std::int64_t> warm_reused{0};
+  std::atomic<std::int64_t> cone_recomputed{0};
   std::atomic<bool> past_deadline{false};
   parallel_for(num_classes, threads, [&](std::size_t ci) {
     // Cooperative budget probe, once per class: workers never throw across
@@ -1175,8 +1527,31 @@ ClassEvalResult evaluate_view_classes(const CommGraph& g,
         return;
       }
     }
-    thread_local ViewTree view;
-    thread_local ViewEvalScratch scratch;
+    // Buffer arenas: leased from the caller's pool when one is supplied
+    // (reuse spans the caller's lifetime), thread_local otherwise.
+    std::optional<EvalScratchPool::Lease> lease;
+    if (pool != nullptr) lease.emplace(*pool);
+    thread_local ViewTree tl_view;
+    thread_local ViewEvalScratch tl_scratch;
+    ViewTree& view = lease ? lease->view() : tl_view;
+    ViewEvalScratch& scratch = lease ? lease->scratch() : tl_scratch;
+    if (wstore != nullptr) {
+      // Fat-view fast path: evaluate the representative straight off the
+      // comm graph -- bitwise the view-backed output (the DP is
+      // origin-keyed; see DpViewEvaluator's graph-backed constructor) with
+      // no O(view) unfold, while the attached store serves every t outside
+      // the invalidated cone.  No view means colour-keyed caching only;
+      // the hash-keyed entry is skipped, which only ever costs a
+      // re-evaluation on a colour-stream collision.
+      DpWarmStart warm{wstore};
+      xc[ci] = solve_agent_on_graph(g, classes.representative[ci], R, opt,
+                                    &scratch, &warm);
+      evals.fetch_add(1, std::memory_order_relaxed);
+      warm_reused.fetch_add(warm.reused, std::memory_order_relaxed);
+      cone_recomputed.fetch_add(warm.recomputed, std::memory_order_relaxed);
+      if (cache != nullptr) cache->insert_color(ckey, xc[ci]);
+      return;
+    }
     ViewTree::build_into(
         g, g.agent_node(classes.representative[ci]), D, view);
     if (cache != nullptr && !opt.cache_color_keys_only &&
@@ -1201,6 +1576,8 @@ ClassEvalResult evaluate_view_classes(const CommGraph& g,
   }
   res.evals = evals.load();
   res.cache_hits = cache_hits.load();
+  res.warm_t_reused = warm_reused.load();
+  res.cone_t_recomputed = cone_recomputed.load();
   if (opt.stats != nullptr) {
     opt.stats->class_eval_us.fetch_add(
         static_cast<std::int64_t>(eval_timer.micros()),

@@ -106,6 +106,15 @@ void IncrementalSolver::cold_solve_memoized() {
   const auto n = static_cast<std::size_t>(g_.num_agents());
   if (n == 0) return;
 
+  // Fat-view fast path state: the persisted t-table (budget-accounted
+  // through the cache) and the cone flood's stamp array.  Minted here --
+  // not in the constructor -- so the degradation path (distributed cold
+  // solve falling back to engine L) gets it too.
+  if (opt_.warm_start && tstore_ == nullptr) {
+    tstore_ = cache_->new_snapshot_store(g_.num_agents());
+    t_stamp_.assign(static_cast<std::size_t>(g_.num_nodes()), 0);
+  }
+
   // Cold solve: the refine / evaluate-representatives / broadcast pipeline
   // of solve_special_local_views, run here so the per-agent colours and the
   // populated cache survive as the update state.  Full-depth colours are
@@ -124,7 +133,8 @@ void IncrementalSolver::cold_solve_memoized() {
                                             std::memory_order_relaxed);
   }
   const ClassEvalResult ev =
-      evaluate_view_classes(g_, classes, opt_.R, eval_opt_, opt_.threads);
+      evaluate_view_classes(g_, classes, opt_.R, eval_opt_, opt_.threads,
+                            tstore_.get(), &pool_);
   if (eval_opt_.stats != nullptr) {
     eval_opt_.stats->evals_avoided.fetch_add(
         static_cast<std::int64_t>(n) - ev.evals, std::memory_order_relaxed);
@@ -202,6 +212,37 @@ void IncrementalSolver::collect_dirty(const CommGraph& g,
           bfs_next_.push_back(e.to);
           take_agent(e.to);
         }
+      }
+    }
+    bfs_cur_.swap(bfs_next_);
+    bfs_next_.clear();
+  }
+}
+
+void IncrementalSolver::flood_t_cone(const CommGraph& g,
+                                     const std::vector<NodeId>& seeds) {
+  // 4r+3 comm-graph hops bound every coefficient the t recursion (and its
+  // bisection bracket) reads; see the declaration comment.
+  const std::int32_t depth = 4 * (opt_.R - 2) + 3;
+  const std::uint32_t flood_epoch = ++t_epoch_;
+  bfs_cur_.clear();
+  bfs_next_.clear();
+  for (const NodeId s : seeds) {
+    auto& stamp = t_stamp_[static_cast<std::size_t>(s)];
+    if (stamp == flood_epoch) continue;
+    stamp = flood_epoch;
+    bfs_cur_.push_back(s);
+    if (g.type(s) == NodeType::kAgent) t_cone_.push_back(static_cast<AgentId>(s));
+  }
+  for (std::int32_t dist = 0; dist < depth && !bfs_cur_.empty(); ++dist) {
+    for (const NodeId u : bfs_cur_) {
+      for (const HalfEdge& e : g.neighbors(u)) {
+        auto& stamp = t_stamp_[static_cast<std::size_t>(e.to)];
+        if (stamp == flood_epoch) continue;
+        stamp = flood_epoch;
+        bfs_next_.push_back(e.to);
+        if (g.type(e.to) == NodeType::kAgent)
+          t_cone_.push_back(static_cast<AgentId>(e.to));
       }
     }
     bfs_cur_.swap(bfs_next_);
@@ -334,6 +375,11 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
     std::fill(agent_stamp_.begin(), agent_stamp_.end(), 0u);
     epoch_ = 0;
   }
+  if (t_epoch_ >= kEpochRenumber) {
+    std::fill(t_stamp_.begin(), t_stamp_.end(), 0u);
+    t_epoch_ = 0;
+  }
+  t_cone_.clear();
 
   // The per-update agent-dedup epoch spans the (up to) two floods below;
   // collect_dirty claims epoch numbers pairwise, so force the counter onto
@@ -351,6 +397,11 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
     // Pre-edit ball: agents that can *lose* sight of a removed edge (the
     // new graph may put them beyond D of every seed).
     collect_dirty(g_, seeds, dirty);
+    // Pre-edit t-cone: origins whose t may DROP its dependence on a removed
+    // edge (the post-edit flood alone could miss them when removal
+    // disconnects).  Coefficient-only deltas keep the topology, so their
+    // pre- and post-edit cones coincide and the post flood suffices.
+    if (tstore_ != nullptr) flood_t_cone(g_, seeds);
   }
   last_.flood_us += flood_timer.micros();
 
@@ -407,6 +458,15 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
     flood_timer.reset();
     collect_dirty(g_, seeds, dirty);  // post-edit ball
     std::sort(dirty.begin(), dirty.end());
+    // Post-edit t-cone, then invalidation: every snapshot entry an edit can
+    // have perturbed is dropped BEFORE any evaluation may serve it.  The
+    // union with the pre-edit cone lands in t_cone_ (duplicates absorbed by
+    // the idempotent invalidate).
+    if (tstore_ != nullptr) {
+      flood_t_cone(g_, seeds);
+      for (const AgentId u : t_cone_) tstore_->invalidate(u);
+      last_.cone_invalidated = static_cast<std::int64_t>(t_cone_.size());
+    }
     last_.flood_us += flood_timer.micros();
     last_.agents_dirty = static_cast<std::int64_t>(dirty.size());
     last_.agents_reused = g_.num_agents() - last_.agents_dirty;
@@ -452,17 +512,21 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
     TSearchOptions eopt = eval_opt_;
     eopt.deadline = deadline;
     Timer eval_timer;
-    const ClassEvalResult ev =
-        evaluate_view_classes(g_, groups, opt_.R, eopt, opt_.threads);
+    const ClassEvalResult ev = evaluate_view_classes(
+        g_, groups, opt_.R, eopt, opt_.threads, tstore_.get(), &pool_);
     last_.eval_us = eval_timer.micros();
     last_.class_cache_hits = ev.cache_hits;
     last_.evals = ev.evals;
+    last_.warm_t_reused = ev.warm_t_reused;
+    last_.cone_t_recomputed = ev.cone_t_recomputed;
+    Timer broadcast_timer;
     for (std::size_t i = 0; i < dirty.size(); ++i) {
       const auto v = static_cast<std::size_t>(dirty[i]);
       x_[v] = ev.x_class[static_cast<std::size_t>(group_of[i])];
       color_a_[v] = pc.color_a[i];
       color_b_[v] = pc.color_b[i];
     }
+    last_.broadcast_us = broadcast_timer.micros();
   } catch (...) {
     // Commit-or-rollback: undo the instance + graph mutation, leaving the
     // solver bitwise as before the call (x_ and the colours were never
@@ -483,6 +547,13 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
         g_.set_edge_coefficient(row, g_.agent_node(e.agent), e.coeff);
       }
     }
+    // The abandoned evaluation may have PUBLISHED post-edit t values for
+    // cone origins before throwing; drop the whole cone again so the store
+    // holds only values valid for the rolled-back (pre-edit) state.
+    // Publishes outside the cone are pre/post-identical by definition and
+    // stay.  Re-invalidating never-published origins is a no-op.
+    if (tstore_ != nullptr)
+      for (const AgentId u : t_cone_) tstore_->invalidate(u);
     last_ = {};
     last_.agents_reused = g_.num_agents();
     throw;
@@ -495,9 +566,13 @@ void IncrementalSolver::apply_memoized(const std::vector<NodeId>& seeds,
     s->classes_invalidated.fetch_add(last_.classes_invalidated,
                                      std::memory_order_relaxed);
     // All WL time lands in refine_us, cold and incremental alike (the
-    // evaluate stage already flushed class_eval_us / class_cache_hits).
+    // evaluate stage already flushed class_eval_us / class_cache_hits, and
+    // solve_agent_from_view the warm_entries_reused / cone_entries_
+    // recomputed counters).
     s->refine_us.fetch_add(static_cast<std::int64_t>(last_.refine_us),
                            std::memory_order_relaxed);
+    s->broadcast_us.fetch_add(static_cast<std::int64_t>(last_.broadcast_us),
+                              std::memory_order_relaxed);
     s->view_classes.fetch_add(last_.classes_invalidated,
                               std::memory_order_relaxed);
   }

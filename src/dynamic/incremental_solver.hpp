@@ -113,6 +113,23 @@ class IncrementalSolver {
     // engine-L dirty-ball path, and carries ALL subsequent updates there
     // (degraded_to_local() reports this).
     const FaultPlan* cold_faults = nullptr;
+    // Fat-view fast path (engine L only), two coupled pieces:
+    //   1. persist the DP t-table across updates in a TValueStore minted
+    //      from the cache (core/dp_snapshot.hpp), invalidating exactly the
+    //      edit's t-dependency cone (comm-graph radius 4r+3 around the
+    //      touched edges) per apply -- evaluations re-bisect only cone
+    //      origins and serve the rest from the snapshot;
+    //   2. evaluate dirty-class representatives straight off the comm
+    //      graph (solve_agent_on_graph) instead of materialising their
+    //      radius-(12r+5) views -- the DP is origin-keyed, so the unfold
+    //      only ever re-serialises the graph rows it was built from.
+    // Together they turn a fat-view update (torus / circulant at R >= 3,
+    // where per-class evaluation dominates) from O(dirty classes x view)
+    // into O(dirty classes x graph ball + cone re-bisections).  Outputs
+    // are bit-identical either way (t is position-independent, the
+    // bisection deterministic, and the graph slices equal the view's);
+    // disable only to measure the cold path.
+    bool warm_start = true;
   };
 
   // Solves `special` cold -- through the refine / evaluate-representatives
@@ -157,10 +174,18 @@ class IncrementalSolver {
     std::int64_t class_cache_hits = 0;     // ...served by the cache
     std::int64_t evals = 0;                // ...actually evaluated
     std::int64_t region_nodes = 0;    // WL recolouring region |ball(dirty,D)|
+    // Fat-view fast path (Options::warm_start): t values served from the
+    // snapshot across this update's evaluations, bisections re-run because
+    // the origin sat in the invalidated cone (or was never computed), and
+    // the snapshot entries the edit's t-cone flood invalidated.
+    std::int64_t warm_t_reused = 0;
+    std::int64_t cone_t_recomputed = 0;
+    std::int64_t cone_invalidated = 0;
     double apply_us = 0.0;   // instance + derived arrays + graph patch
     double flood_us = 0.0;   // dirty-ball BFS (both graphs on structural)
     double refine_us = 0.0;  // cone-restricted WL recolouring
     double eval_us = 0.0;    // dirty-class evaluation (incl. cache lookups)
+    double broadcast_us = 0.0;  // class-output scatter to dirty agents
     // Engines M / S: the replay's scheduler accounting.  fresh_* is the
     // §1.3 headline -- bounded by the dirty ball times the round count,
     // independent of n; replayed_* is what the ball consumed from the
@@ -192,6 +217,22 @@ class IncrementalSolver {
 
   const UpdateStats& last_update() const { return last_; }
 
+  // The persisted DP t-table (null when warm_start is off, the engine is
+  // distributed, or the instance is empty; disabled -- enabled() false --
+  // when the cache's snapshot byte budget refused it).  Exposed for tests
+  // and benches to inspect entries() / bytes().
+  const TValueStore* snapshot_store() const { return tstore_.get(); }
+
+  // Allocation-churn accounting of the pooled evaluation arenas (engine L):
+  // arenas ever created (== peak concurrent class evaluations) and total
+  // DP-table reallocation events across them.  Steady-state edit streams
+  // stop accumulating reallocations after warm-up -- asserted by the
+  // scratch-reuse tests.
+  std::int64_t scratch_arenas() const { return pool_.arenas(); }
+  std::int64_t scratch_reallocations() const {
+    return pool_.table_reallocations();
+  }
+
   // Per-agent full-depth WL colours of the current solve state (engine L;
   // all-zero for distributed engines, which keep message history instead).
   // Exposed so tests can snapshot-compare the full solver state bitwise.
@@ -211,6 +252,16 @@ class IncrementalSolver {
   // visits cost nothing and no O(n) clearing happens per update.
   void collect_dirty(const CommGraph& g, const std::vector<NodeId>& seeds,
                      std::vector<AgentId>& dirty);
+
+  // Appends to t_cone_ every agent within comm-graph distance 4r+3 of
+  // `seeds` in `g` -- the t-dependency cone: t_u reads coefficients of
+  // agents at distance <= 4r+2 and rows at <= 4r+3 (upper_bound.hpp's
+  // recursion plus the sibling caps of the bisection bracket), so every t
+  // outside the cone is bitwise unaffected by an edit at the seeds.  Uses
+  // its own epoch-stamped visited array (t_stamp_), so the pre- and
+  // post-edit floods of a structural delta stay independent BFS passes;
+  // overlap lands in t_cone_ twice, which the idempotent invalidate absorbs.
+  void flood_t_cone(const CommGraph& g, const std::vector<NodeId>& seeds);
 
   // One NodeProgram of the selected distributed engine for `node`.
   std::unique_ptr<NodeProgram> make_program(NodeId node) const;
@@ -252,6 +303,18 @@ class IncrementalSolver {
   std::vector<std::uint32_t> agent_stamp_;
   std::uint32_t epoch_ = 0;
   std::vector<NodeId> bfs_cur_, bfs_next_;
+
+  // Fat-view fast path state (engine L, Options::warm_start): the persisted
+  // t-table, its per-update invalidation cone, and the cone flood's own
+  // stamp array (separate from node_stamp_ so the dirty-ball floods keep
+  // their pairwise agent-epoch protocol untouched).
+  std::shared_ptr<TValueStore> tstore_;
+  std::vector<std::uint32_t> t_stamp_;
+  std::uint32_t t_epoch_ = 0;
+  std::vector<AgentId> t_cone_;
+  // Pooled (view, DP-table) arenas reused across every evaluation this
+  // solver ever runs -- cold solve and all updates.
+  EvalScratchPool pool_;
 
   UpdateStats last_;
 };
