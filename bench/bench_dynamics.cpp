@@ -28,10 +28,11 @@
 // history, so a single-coefficient edit re-sends only the dirty ball's
 // messages (fresh) and serves everything else from cache (replayed).  Each
 // engine runs at TWO instance sizes so the JSON shows the §1.3 claim
-// directly: fresh counts identical while n doubles.  R stops at 3 for
-// these rows -- the resident history of engine M at R = 4 and 10k agents
-// is ~0.5 GB for no additional information (the fresh/replayed split looks
-// the same at every R).
+// directly: fresh counts identical while n doubles.  Full mode reaches
+// R = 4 at 10k agents: the recorded history now stores encoded wire frames
+// (13 bytes per view node instead of a 32-byte WireNode, ~2.5x smaller --
+// dist/wire.hpp), which brings engine M's resident history at R = 4 / 10k
+// down from the ~0.5 GB that used to stop these rows at R = 3.
 //
 // Usage: bench_dynamics [BENCH_dynamics.json] [--smoke]
 #include <cmath>
@@ -582,9 +583,12 @@ int main(int argc, char** argv) {
                       "inc_ms", "fresh", "replayed", "fresh_B", "dirty",
                       "identical"});
   std::vector<DistRunResult> dist_runs;
+  // Smoke stops at R = 3 (CI seconds); full mode carries the encoded-history
+  // headline to R = 4 at 10k agents.
+  const std::int32_t dist_top_R = smoke ? 3 : 4;
   for (const DynamicEngine engine :
        {DynamicEngine::kMessagePassing, DynamicEngine::kStreaming}) {
-    for (std::int32_t R = 2; R <= 3; ++R) {
+    for (std::int32_t R = 2; R <= dist_top_R; ++R) {
       for (const MaxMinInstance* inst : {&dist_small, &dist_large}) {
         std::fprintf(stderr, "running dist %s R=%d (%d agents)...\n",
                      engine == DynamicEngine::kMessagePassing ? "M" : "S", R,

@@ -95,5 +95,42 @@ int main() {
                "radius 4r+3 for t, then floods 8-byte scalars (+2 rounds)");
     table.print();
   }
+  {
+    // The byte columns above are measured off the real codec (frames cross
+    // actual process boundaries here, not an accounting formula); this
+    // section prices the transports themselves.
+    Table table("E8d: engine M across process boundaries (wheel 16 layers, "
+                "R=3, 2 ranks)");
+    table.columns({"transport", "ms", "bytes", "identical"});
+    const MaxMinInstance inst = layered_instance(
+        {.delta_k = 2, .layers = 16, .width = 1, .twist = 0});
+    const MessageRunResult in_proc = solve_special_message_passing(inst, 3);
+    struct Row {
+      const char* name;
+      TransportKind kind;
+    };
+    for (const Row row : {Row{"in-process", TransportKind::kInProcess},
+                          Row{"shm-ring", TransportKind::kSharedMemory},
+                          Row{"socket", TransportKind::kSocket}}) {
+      DistOptions dist;
+      dist.transport = row.kind;
+      dist.ranks = 2;
+      Timer timer;
+      const MessageRunResult m =
+          solve_special_message_passing(inst, 3, {}, 1, nullptr, dist);
+      const double ms = timer.millis();
+      bool identical = m.x.size() == in_proc.x.size();
+      for (std::size_t v = 0; identical && v < m.x.size(); ++v)
+        identical = m.x[v] == in_proc.x[v];
+      LOCMM_CHECK_MSG(identical, "cross-process engine M diverged on "
+                                     << row.name);
+      LOCMM_CHECK(m.stats.bytes == in_proc.stats.bytes);
+      table.row({Table::cell(row.name), Table::cell(ms, 2),
+                 Table::cell(m.stats.bytes), Table::cell("yes")});
+    }
+    table.note("2 forked ranks; outputs and byte counters verified equal to "
+               "the in-process run before timing is reported");
+    table.print();
+  }
   return 0;
 }

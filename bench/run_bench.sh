@@ -4,7 +4,11 @@
 #   BENCH_dp_engine.json    per-agent DP engine vs the naive oracle
 #   BENCH_view_cache.json   class-collapsed vs per-agent whole-instance solves
 #   BENCH_engines.json      engine ablation C/L/M/S (time, rounds, messages,
-#                           bytes, max message size)
+#                           bytes, max message size -- byte columns are
+#                           measured off the real wire codec since PR 10,
+#                           not modeled) plus the E8d cross-process rows
+#                           (engine M forked onto 2 ranks over shm rings and
+#                           sockets, present in --smoke too)
 #   BENCH_dynamics.json     incremental (dirty-ball) vs from-scratch re-solve
 #                           after single-coefficient edits (E9), with
 #                           per-phase timings, plus the E9d fat-view rows

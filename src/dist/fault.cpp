@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/view_solver.hpp"
+#include "dist/wire.hpp"
 #include "graph/view_tree.hpp"
 #include "support/hash.hpp"
 
@@ -113,25 +114,13 @@ const CrashEvent* FaultPlan::crash_at(NodeId node, std::int32_t round) const {
 // ---------------------------------------------------------------------------
 
 std::uint64_t message_checksum(const Message& m) {
-  std::uint64_t h = mix64(0x6c6f636d6d2d636bull);  // domain tag
-  h = hash_combine(h, static_cast<std::uint64_t>(m.kind));
-  h = hash_combine(h, payload_bits(m.scalar));
-  if (m.kind == Message::Kind::kView) {
-    h = hash_combine(h, static_cast<std::uint64_t>(m.view.size()));
-    for (const WireNode& w : m.view) {
-      h = hash_combine(h, static_cast<std::uint64_t>(w.type));
-      h = hash_combine(h, static_cast<std::uint64_t>(
-                              static_cast<std::uint32_t>(w.degree)));
-      h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                              w.constraint_degree)));
-      h = hash_combine(h, static_cast<std::uint64_t>(
-                              static_cast<std::uint32_t>(w.parent_port)));
-      h = hash_combine(h, payload_bits(w.parent_coeff));
-      h = hash_combine(h, static_cast<std::uint64_t>(
-                              static_cast<std::uint32_t>(w.num_children)));
-    }
-  }
-  return h;
+  // The checksum *is* the one the codec stamps into the frame: encode and
+  // read the trailing field back, so this function can never drift from
+  // what the transports verify on receive.  kNone encodes to zero bytes and
+  // checksums as the empty frame.
+  const std::vector<std::uint8_t> frame = encode_message(m);
+  if (frame.empty()) return frame_checksum({});
+  return load_le(frame.data() + frame.size() - 8, 8);
 }
 
 bool wire_view_well_formed(std::span<const WireNode> blob) {
@@ -176,34 +165,6 @@ bool message_well_formed(const Message& m) {
     case Message::Kind::kView: return wire_view_well_formed(m.view);
   }
   return false;  // corrupted kind byte
-}
-
-void corrupt_message(Message& m, std::uint64_t bits) {
-  if (m.kind != Message::Kind::kView || m.view.empty()) {
-    // Scalar payload (8 modeled bytes): flip one of its 64 bits.
-    m.scalar = std::bit_cast<double>(std::bit_cast<std::uint64_t>(m.scalar) ^
-                                     (1ull << (bits % 64)));
-    return;
-  }
-  // View payload: pick one wire node, one field, one bit.  The modeled
-  // 13-byte encoding packs these fields, so a single wire bit maps to a
-  // single field bit here.
-  WireNode& w = m.view[(bits >> 8) % m.view.size()];
-  const std::uint64_t b = bits >> 40;
-  switch (bits % 6) {
-    case 0:
-      w.type = static_cast<NodeType>(static_cast<std::uint8_t>(w.type) ^
-                                     static_cast<std::uint8_t>(1u << (b % 8)));
-      break;
-    case 1: w.degree ^= std::int32_t{1} << (b % 31); break;
-    case 2: w.constraint_degree ^= std::int32_t{1} << (b % 31); break;
-    case 3: w.parent_port ^= std::int32_t{1} << (b % 31); break;
-    case 4:
-      w.parent_coeff = std::bit_cast<double>(
-          std::bit_cast<std::uint64_t>(w.parent_coeff) ^ (1ull << (b % 64)));
-      break;
-    case 5: w.num_children ^= std::int32_t{1} << (b % 31); break;
-  }
 }
 
 // ---------------------------------------------------------------------------

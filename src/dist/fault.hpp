@@ -16,12 +16,14 @@
 //             thread count or delivery order, which is what lets the chaos
 //             tests assert bitwise equality against fault-free oracles.
 //
-//   detect    every delivery is guarded by a 64-bit per-message checksum
-//             (message_checksum) plus a structural well-formedness pass
-//             (message_well_formed) that subsumes the CHECK-protected
-//             invariants of the receive path downstream (gather blob
-//             splicing, streaming scalar kinds): a corrupted message is
-//             rejected at the delivery boundary -- counted and
+//   detect    corruption operates on real bytes: the injector flips one bit
+//             of the *encoded frame* (dist/wire.hpp corrupt_frame_detectably,
+//             seeded by FaultPlan::corruption_bits), and every delivery is
+//             guarded by the real decoder -- frame checksum plus the
+//             structural validation (wire_view_well_formed) that subsumes
+//             the CHECK-protected invariants of the receive path downstream
+//             (gather blob splicing, streaming scalar kinds).  A corrupted
+//             frame is rejected at the delivery boundary -- counted and
 //             retransmit-requested -- and never reaches a NodeProgram.
 //             Deliveries are watermarked by (round, port): a duplicate of
 //             an already-delivered message is recognised and discarded, and
@@ -127,10 +129,14 @@ class FaultPlan {
   FaultSpec spec_;
 };
 
-// 64-bit content checksum of a message: kind, scalar bits, and every wire
-// field of every view node, folded in order through support/hash.hpp
-// (mix64 / hash_combine / coeff_bits_exact).  Any single-bit corruption of
-// the modeled wire payload changes it (asserted exhaustively by the tests).
+// 64-bit content checksum of a message: exactly the checksum field the wire
+// codec stamps into the message's encoded frame (dist/wire.hpp
+// frame_checksum over the frame's pre-checksum bytes), so it covers every
+// bit that actually travels -- kind byte, node count, packed headers and
+// raw coefficient bits (all NaN encodings checksum distinctly).  Any
+// single-bit corruption of the real frame changes it, up to a 64-bit digest
+// collision the injector regenerates away (asserted exhaustively by the
+// tests).  kNone messages (never transmitted) checksum as the empty frame.
 std::uint64_t message_checksum(const Message& m);
 
 // Structural validity of a preorder view blob, checked without touching the
@@ -145,10 +151,9 @@ bool wire_view_well_formed(std::span<const WireNode> blob);
 // for view messages.
 bool message_well_formed(const Message& m);
 
-// Applies the deterministic corruption selected by `bits` (from
-// FaultPlan::corruption_bits): flips one bit of one wire field.  Exposed so
-// the tests can drive the detector exhaustively.
-void corrupt_message(Message& m, std::uint64_t bits);
+// (The corruption primitive itself lives with the codec: dist/wire.hpp
+// corrupt_frame / corrupt_frame_detectably flip bits of the encoded frame,
+// seeded by FaultPlan::corruption_bits.)
 
 // The outcome of a fault-tolerant engine run (see run_fault_tolerant).
 struct FaultTolerantResult {

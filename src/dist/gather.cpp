@@ -260,13 +260,25 @@ MessageRunResult solve_special_message_passing(const MaxMinInstance& special,
                                                std::int32_t R,
                                                const TSearchOptions& opt,
                                                std::size_t threads,
-                                               const FaultPlan* faults) {
+                                               const FaultPlan* faults,
+                                               const DistOptions& dist) {
   LOCMM_CHECK(R >= 2);
   const CommGraph g(special);
-  SyncNetwork net(g, threads);
   const std::int32_t D = view_radius(R);
 
   MessageRunResult res;
+  if (dist.transport != TransportKind::kInProcess) {
+    LOCMM_CHECK_MSG(faults == nullptr,
+                    "fault injection is in-process only (the recovery replay "
+                    "needs the full history in one address space)");
+    MultiprocessResult mp = run_multiprocess(
+        g, [&](NodeId) { return std::make_unique<GatherProgram>(D, R, opt); },
+        D, special.num_agents(), dist);
+    res.x = std::move(mp.x);
+    res.stats = mp.stats;
+    return res;
+  }
+  SyncNetwork net(g, threads);
   if (faults != nullptr && faults->any_faults()) {
     FaultTolerantResult ft = run_fault_tolerant(
         net, *faults,

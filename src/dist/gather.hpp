@@ -33,6 +33,7 @@
 
 #include "core/view_solver.hpp"
 #include "dist/message_passing.hpp"
+#include "dist/transport.hpp"
 #include "graph/view_tree.hpp"
 
 namespace locmm {
@@ -121,12 +122,17 @@ struct MessageRunResult {
 // the thread count.  `faults` (optional, not owned) injects the given
 // seeded fault scenario and runs detection / retransmission / degradation
 // on top (dist/fault.hpp): with full recovery the outputs are bitwise
-// identical to the fault-free run.
+// identical to the fault-free run.  `dist` selects the transport: the
+// default runs the in-process SyncNetwork; a cross-process transport forks
+// dist.ranks processes and ships encoded frames (dist/transport.hpp) --
+// bitwise identical outputs and identical stats, tested.  Fault injection
+// is in-process only (faults must be nullptr when ranks cross processes).
 MessageRunResult solve_special_message_passing(const MaxMinInstance& special,
                                                std::int32_t R,
                                                const TSearchOptions& opt = {},
                                                std::size_t threads = 1,
                                                const FaultPlan* faults =
-                                                   nullptr);
+                                                   nullptr,
+                                               const DistOptions& dist = {});
 
 }  // namespace locmm

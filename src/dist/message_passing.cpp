@@ -4,9 +4,27 @@
 #include <atomic>
 
 #include "dist/fault.hpp"
+#include "dist/wire.hpp"
 #include "support/thread_pool.hpp"
 
 namespace locmm {
+
+namespace {
+
+// Encodes one outbox into its history row (all frames concatenated, offsets
+// framing them per port).  An empty outbox encodes as an empty row.
+void encode_outbox(const std::vector<Message>& out, EncodedOutbox& row) {
+  row.clear();
+  if (out.empty()) return;
+  row.offsets.reserve(out.size() + 1);
+  row.offsets.push_back(0);
+  for (const Message& m : out) {
+    append_message_frame(m, row.bytes);
+    row.offsets.push_back(static_cast<std::uint32_t>(row.bytes.size()));
+  }
+}
+
+}  // namespace
 
 SyncNetwork::SyncNetwork(const CommGraph& g, std::size_t threads)
     : g_(g), threads_(threads) {
@@ -81,18 +99,26 @@ RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
     const std::int32_t round = ++stats.rounds;
 
     // Send phase: halted nodes stay silent; everyone else contributes one
-    // message per port (or an empty vector for a silent round).
+    // message per port (or an empty vector for a silent round).  Recording
+    // encodes the outbox into its history row right here, before delivery
+    // gets to move the messages out -- per-node rows, so workers share no
+    // write target.
     parallel_for(sn, threads_, [&](std::size_t u) {
       outbox[u].clear();
-      if (programs[u]->halted()) return;
-      outbox[u] = programs[u]->send(round);
-      LOCMM_CHECK_MSG(
-          outbox[u].empty() ||
-              static_cast<std::int32_t>(outbox[u].size()) ==
-                  g_.degree(static_cast<NodeId>(u)),
-          "send() must return one message per port or nothing: got "
-              << outbox[u].size() << " for degree "
-              << g_.degree(static_cast<NodeId>(u)));
+      if (!programs[u]->halted()) {
+        outbox[u] = programs[u]->send(round);
+        LOCMM_CHECK_MSG(
+            outbox[u].empty() ||
+                static_cast<std::int32_t>(outbox[u].size()) ==
+                    g_.degree(static_cast<NodeId>(u)),
+            "send() must return one message per port or nothing: got "
+                << outbox[u].size() << " for degree "
+                << g_.degree(static_cast<NodeId>(u)));
+      }
+      if (record) {
+        history_[u].emplace_back();
+        encode_outbox(outbox[u], history_[u].back());
+      }
     });
 
     // Delivery: the message leaving port p of u arrives at u's neighbour on
@@ -103,7 +129,7 @@ RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
     for (std::size_t u = 0; u < sn; ++u)
       for (Message& m : inbox[u]) m.kind = Message::Kind::kNone;
     for (std::size_t u = 0; u < sn; ++u) {
-      if (outbox[u].empty() && !record) continue;
+      if (outbox[u].empty()) continue;
       const auto neigh = g_.neighbors(static_cast<NodeId>(u));
       for (std::size_t p = 0; p < outbox[u].size(); ++p) {
         Message& m = outbox[u][p];
@@ -115,16 +141,11 @@ RunStats SyncNetwork::run(std::vector<std::unique_ptr<NodeProgram>>& programs,
         const NodeId to = neigh[p].to;
         const std::int32_t q = back_ports_[static_cast<std::size_t>(
             edge_offsets_[u] + static_cast<std::int64_t>(p))];
-        Message& slot =
-            inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(q)];
-        // Recording keeps the outbox row for the history; delivery copies.
-        if (record) {
-          slot = m;
-        } else {
-          slot = std::move(m);
-        }
+        // The history row was encoded at send time, so delivery always gets
+        // to move (the old Message-typed history forced a copy here).
+        inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(q)] =
+            std::move(m);
       }
-      if (record) history_[u].push_back(std::move(outbox[u]));
     }
 
     // Receive phase.
@@ -183,6 +204,7 @@ RunStats SyncNetwork::run_under_faults(
   };
   std::vector<Pending> pending, still_pending;
   std::vector<std::int32_t> delivered(sn, 0);
+  std::vector<std::uint8_t> corrupted_frame;
 
   RunStats stats;
   for (std::int32_t round = 1; round <= schedule_rounds; ++round) {
@@ -202,19 +224,23 @@ RunStats SyncNetwork::run_under_faults(
 
     // Send phase: frozen nodes are silent, everyone else behaves as in
     // run().  The FaultPlan is pure, so consulting it from workers later is
-    // order-independent.
+    // order-independent.  History rows encode here -- they hold what each
+    // node truly sent (faults below only touch wire copies), exactly what
+    // the recovery replay depends on.
     parallel_for(sn, threads_, [&](std::size_t u) {
       outbox[u].clear();
-      if (out.sent_through[u] < round) return;
-      if (programs[u]->halted()) return;
-      outbox[u] = programs[u]->send(round);
-      LOCMM_CHECK_MSG(
-          outbox[u].empty() ||
-              static_cast<std::int32_t>(outbox[u].size()) ==
-                  g_.degree(static_cast<NodeId>(u)),
-          "send() must return one message per port or nothing: got "
-              << outbox[u].size() << " for degree "
-              << g_.degree(static_cast<NodeId>(u)));
+      if (out.sent_through[u] >= round && !programs[u]->halted()) {
+        outbox[u] = programs[u]->send(round);
+        LOCMM_CHECK_MSG(
+            outbox[u].empty() ||
+                static_cast<std::int32_t>(outbox[u].size()) ==
+                    g_.degree(static_cast<NodeId>(u)),
+            "send() must return one message per port or nothing: got "
+                << outbox[u].size() << " for degree "
+                << g_.degree(static_cast<NodeId>(u)));
+      }
+      history_[u].emplace_back();
+      encode_outbox(outbox[u], history_[u].back());
     });
 
     for (std::size_t u = 0; u < sn; ++u)
@@ -246,17 +272,26 @@ RunStats SyncNetwork::run_under_faults(
           continue;
         }
         if (plan.corrupts(round, from_node, port, 0)) {
-          // The wire flips one payload bit; the delivery guard must catch
-          // it.  The checksum changes under any single-bit flip and
-          // message_well_formed rejects structural nonsense, so nothing
-          // corrupted ever reaches a NodeProgram (whose receive-path CHECKs
-          // stay what they are: internal invariants, not a fault boundary).
-          Message bad = m;
-          corrupt_message(bad, plan.corruption_bits(round, from_node, port));
+          // The wire flips one bit of the *encoded frame* (taken from the
+          // history row the send phase just wrote); the delivery guard --
+          // the real decoder -- must catch it.  Every frame bit is
+          // checksummed, so only a 64-bit digest collision could hide a
+          // flip; corrupt_frame_detectably regenerates the bit choice on
+          // such a collision rather than ever letting corruption travel,
+          // and the CHECK here pins the guarantee at the delivery boundary
+          // so nothing corrupted can reach a NodeProgram (whose
+          // receive-path CHECKs stay internal invariants, not a fault
+          // boundary).
+          const auto f = history_[u].back().frame(static_cast<std::int32_t>(p));
+          corrupted_frame.assign(f.begin(), f.end());
+          corrupt_frame_detectably(corrupted_frame,
+                                   plan.corruption_bits(round, from_node,
+                                                        port));
+          Message rejected;
           LOCMM_CHECK_MSG(
-              message_checksum(bad) != message_checksum(m) ||
-                  !message_well_formed(bad),
-              "corrupted message evaded the delivery guard");
+              decode_message_frame(corrupted_frame, rejected) !=
+                  WireDecodeStatus::kOk,
+              "corrupted frame evaded the delivery guard");
           ++stats.corrupted_messages;
           pending.push_back({u, p, to, to_port});
           continue;
@@ -349,12 +384,6 @@ RunStats SyncNetwork::run_under_faults(
       }
     }
 
-    // History rows hold what each node truly sent (the faults above only
-    // touched delivered copies), exactly like run(..., record=true) -- the
-    // recovery replay depends on clean nodes' rows being pristine.
-    for (std::size_t u = 0; u < sn; ++u)
-      history_[u].push_back(std::move(outbox[u]));
-
     // Receive phase: only never-frozen nodes consume.  Every one of them
     // has a complete, validated inbox -- anything less froze it above --
     // so executed programs march through bitwise fault-free state.
@@ -387,22 +416,29 @@ void SyncNetwork::assemble_inbox(NodeId u, std::int32_t round,
   for (std::size_t q = 0; q < neigh.size(); ++q) {
     const NodeId w = neigh[q].to;
     const std::int32_t p = back_port_of(u, static_cast<std::int32_t>(q));
-    const std::vector<Message>& row =
+    const EncodedOutbox& row =
         history_[static_cast<std::size_t>(w)][static_cast<std::size_t>(round) -
                                               1];
     if (row.empty()) {
       inbox[q].kind = Message::Kind::kNone;
       continue;
     }
-    const Message& m = row[static_cast<std::size_t>(p)];
-    inbox[q] = m;
-    if (m.kind == Message::Kind::kNone) continue;
+    // The history stores encoded frames (~2.5x below Message storage);
+    // cache service decodes on read.  History bytes are written only by the
+    // codec itself, so a decode failure is a broken internal invariant, not
+    // a fault-boundary event.
+    const auto f = row.frame(p);
+    const WireDecodeStatus st = decode_message_frame(f, inbox[q]);
+    LOCMM_CHECK_MSG(st == WireDecodeStatus::kOk,
+                    "recorded history frame failed to decode ("
+                        << wire_decode_status_name(st) << ")");
+    if (inbox[q].kind == Message::Kind::kNone) continue;
     // A sender that already re-sent this round overwrote its row with a
     // fresh message, counted at send time; everything else is cache-served.
     const std::int32_t a = activation[static_cast<std::size_t>(w)];
     if (a == 0 || a > round) {
       ++stats.replayed_messages;
-      stats.replayed_bytes += m.byte_size();
+      stats.replayed_bytes += static_cast<std::int64_t>(f.size());
     }
   }
 }
@@ -487,7 +523,7 @@ SyncNetwork::ReplayResult SyncNetwork::replay(
     parallel_for(res.executed.size(), threads_, [&](std::size_t i) {
       const NodeId u = res.executed[i];
       NodeProgram& prog = *res.programs[i];
-      std::vector<Message>& row = history_[static_cast<std::size_t>(
+      EncodedOutbox& row = history_[static_cast<std::size_t>(
           u)][static_cast<std::size_t>(round) - 1];
       if (prog.halted()) {
         row.clear();
@@ -505,7 +541,7 @@ SyncNetwork::ReplayResult SyncNetwork::replay(
         acc[i].fresh_bytes += sz;
         acc[i].max_message_bytes = std::max(acc[i].max_message_bytes, sz);
       }
-      row = std::move(out);
+      encode_outbox(out, row);
     });
 
     // Receive phase: only executing nodes consume anything; their inboxes

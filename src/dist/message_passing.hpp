@@ -48,14 +48,16 @@
 #include <vector>
 
 #include "graph/comm_graph.hpp"
+#include "support/wire_layout.hpp"
 
 namespace locmm {
 
-// One node of a serialized view subtree, preorder.  The wire encoding this
-// models is the same 13-bytes-per-node layout ViewTree::byte_size() accounts
-// (type + degree/ports packed + coefficient); the in-memory struct is wider
-// for simplicity, but all byte statistics use the modeled size so engine M's
-// message volume is comparable with the view-size columns of the benches.
+// One node of a serialized view subtree, preorder.  On the wire this is the
+// 13-bytes-per-node layout of support/wire_layout.hpp (packed header +
+// coefficient; dist/wire.hpp is the codec) -- the in-memory struct is wider
+// for simplicity, which is exactly why the recorded message history stores
+// encoded bytes rather than WireNode vectors (~2.5x smaller; see
+// SyncNetwork::history_).
 struct WireNode {
   NodeType type = NodeType::kAgent;
   std::int32_t degree = 0;
@@ -88,14 +90,18 @@ struct Message {
     return m;
   }
 
-  // Modeled wire size: 8 bytes per scalar, 13 bytes per serialized view
-  // node (matching ViewTree::byte_size so engine M volume and view size are
-  // directly comparable).
+  // Measured wire size: the exact length of the frame the codec emits for
+  // this message (dist/wire.hpp append_message_frame CHECKs the two never
+  // drift).  Scalars ride a 17-byte checksummed frame, views a 13-byte
+  // envelope plus kWireNodeBytes per node, and silent ports cost nothing --
+  // so the RunStats byte columns report what a byte transport actually
+  // carries (the multi-process ranks ship these very frames).
   std::int64_t byte_size() const {
     switch (kind) {
       case Kind::kNone: return 0;
-      case Kind::kScalar: return 8;
-      case Kind::kView: return static_cast<std::int64_t>(view.size()) * 13;
+      case Kind::kScalar: return kScalarFrameBytes;
+      case Kind::kView:
+        return view_frame_bytes(static_cast<std::int64_t>(view.size()));
     }
     return 0;
   }
@@ -183,6 +189,29 @@ struct RunStats {
   std::int32_t recovery_rounds = 0;
 };
 
+// One node's recorded outbox for one round, stored as the *encoded frames*
+// the wire codec emits (dist/wire.hpp) rather than as Message objects: a
+// WireNode is 32 bytes in memory but 13 on the wire, so a recorded engine-M
+// history shrinks ~2.5x -- the difference between dynamic engine M stopping
+// at R=3 and reaching R=4 at 10k agents (bench_dynamics' distributed rows).
+// `offsets` has degree+1 entries framing port p's bytes at
+// [offsets[p], offsets[p+1]); a zero-length frame is a silent port, an empty
+// offsets vector a silent round.
+struct EncodedOutbox {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint32_t> offsets;
+
+  bool empty() const { return offsets.empty(); }
+  void clear() {
+    bytes.clear();
+    offsets.clear();
+  }
+  std::span<const std::uint8_t> frame(std::int32_t port) const {
+    const auto p = static_cast<std::size_t>(port);
+    return {bytes.data() + offsets[p], bytes.data() + offsets[p + 1]};
+  }
+};
+
 class FaultPlan;  // dist/fault.hpp
 
 // What a run_under_faults left behind, beyond the stats: which nodes froze
@@ -229,7 +258,8 @@ class SyncNetwork {
   // Runs rounds until every program halts (CHECK-fails after `max_rounds`
   // as a runaway guard: the engines here halt after O(R) rounds).  Calls
   // init on every program first.  With `record`, every node's per-round
-  // outbox is persisted (memory: one copy of the run's total traffic) so
+  // outbox is persisted as encoded wire frames (memory: one copy of the
+  // run's total traffic *at wire size*, ~2.5x below Message storage) so
   // later replay() calls can serve clean nodes' messages from cache.
   RunStats run(std::vector<std::unique_ptr<NodeProgram>>& programs,
                std::int32_t max_rounds = 1 << 20, bool record = false);
@@ -336,13 +366,16 @@ class SyncNetwork {
   std::vector<std::int64_t> edge_offsets_;
   std::vector<std::int32_t> back_ports_;
 
-  // Dynamic mode: history_[u][k-1] is the outbox u sent in round k (one
-  // Message per port; empty = silent round).  Outbox- rather than
-  // inbox-indexed so replay can re-route deliveries through the post-edit
-  // back ports: a receiver whose port numbering shifted re-executes anyway,
-  // while its clean neighbours' cached rows stay addressed by their own
-  // (unchanged) ports.
-  std::vector<std::vector<std::vector<Message>>> history_;
+  // Dynamic mode: history_[u][k-1] is the outbox u sent in round k, stored
+  // as encoded wire frames (one frame per port; empty row = silent round;
+  // see EncodedOutbox for the ~2.5x memory win over Message storage).
+  // Outbox- rather than inbox-indexed so replay can re-route deliveries
+  // through the post-edit back ports: a receiver whose port numbering
+  // shifted re-executes anyway, while its clean neighbours' cached rows stay
+  // addressed by their own (unchanged) ports.  assemble_inbox decodes on
+  // read (LOCMM_CHECK: history bytes are an internal invariant, not a fault
+  // boundary).
+  std::vector<std::vector<EncodedOutbox>> history_;
   std::int32_t recorded_rounds_ = 0;
 };
 

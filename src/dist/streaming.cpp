@@ -272,12 +272,25 @@ StreamingRunResult solve_special_streaming(const MaxMinInstance& special,
                                            std::int32_t R,
                                            const TSearchOptions& opt,
                                            std::size_t threads,
-                                           const FaultPlan* faults) {
+                                           const FaultPlan* faults,
+                                           const DistOptions& dist) {
   LOCMM_CHECK(R >= 2);
   const CommGraph g(special);
-  SyncNetwork net(g, threads);
 
   StreamingRunResult res;
+  if (dist.transport != TransportKind::kInProcess) {
+    LOCMM_CHECK_MSG(faults == nullptr,
+                    "fault injection is in-process only (the recovery replay "
+                    "needs the full history in one address space)");
+    MultiprocessResult mp = run_multiprocess(
+        g,
+        [&](NodeId) { return std::make_unique<StreamingProgram>(R - 2, opt); },
+        streaming_rounds(R), special.num_agents(), dist);
+    res.x = std::move(mp.x);
+    res.stats = mp.stats;
+    return res;
+  }
+  SyncNetwork net(g, threads);
   if (faults != nullptr && faults->any_faults()) {
     FaultTolerantResult ft = run_fault_tolerant(
         net, *faults,

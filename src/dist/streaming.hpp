@@ -42,6 +42,7 @@
 
 #include "core/upper_bound.hpp"
 #include "dist/message_passing.hpp"
+#include "dist/transport.hpp"
 
 namespace locmm {
 
@@ -71,11 +72,14 @@ struct StreamingRunResult {
 // count.  `faults` (optional, not owned) injects the given seeded fault
 // scenario and runs detection / retransmission / degradation on top
 // (dist/fault.hpp): with full recovery the outputs are bitwise identical to
-// the fault-free run.
+// the fault-free run.  `dist` selects the transport exactly as in
+// solve_special_message_passing (cross-process transports fork dist.ranks
+// processes; faults must be nullptr there).
 StreamingRunResult solve_special_streaming(const MaxMinInstance& special,
                                            std::int32_t R,
                                            const TSearchOptions& opt = {},
                                            std::size_t threads = 1,
-                                           const FaultPlan* faults = nullptr);
+                                           const FaultPlan* faults = nullptr,
+                                           const DistOptions& dist = {});
 
 }  // namespace locmm

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "graph/comm_graph.hpp"
+#include "support/wire_layout.hpp"
 
 namespace locmm {
 
@@ -206,10 +207,14 @@ class ViewTree {
   // rebuild_neighbor_cache() before handing the copy to an engine.
   ViewTree structural_copy() const;
 
-  // Approximate serialized size in bytes (for message accounting): per node
-  // type + degree + parent port + coefficient.
+  // Exact serialized size in bytes: the real codec (dist/wire.hpp
+  // encode_view) emits kWireNodeBytes per node and nothing else, and
+  // CHECK-fails if its output ever drifts from this number -- so the byte
+  // statistics quoted by RunStats and the benches are the measured wire
+  // format, not a parallel hand-maintained formula (round-trip tested per
+  // generator family in tests/wire_test.cpp).
   std::int64_t byte_size() const {
-    return static_cast<std::int64_t>(nodes_.size()) * 13;
+    return static_cast<std::int64_t>(nodes_.size()) * kWireNodeBytes;
   }
 
   // The shallowest copy of a G-node in this view, or -1 when it has none.
@@ -226,6 +231,7 @@ class ViewTree {
   }
 
   friend class ViewAssembler;  // dist/gather.cpp splices message views
+  friend class WireCodec;      // dist/wire.cpp decodes serialized views
 
  private:
   std::vector<ViewNode> nodes_;

@@ -1,0 +1,114 @@
+// wire_layout.hpp -- the fixed 13-byte-per-node wire layout, shared between
+// the real codec (dist/wire.hpp) and the byte accounting that quotes it
+// (ViewTree::byte_size, Message::byte_size).
+//
+// One serialized view node is exactly kWireNodeBytes = 13 bytes:
+//
+//     [ header: 5 bytes LE ][ parent coefficient: 8 bytes, raw IEEE-754 LE ]
+//
+// with the 40 header bits packed as
+//
+//     bits  0..1   type               (kAgent / kConstraint / kObjective)
+//     bits  2..11  degree             (10 bits; full degree in G)
+//     bits 12..21  parent_port + 1    (10 bits; 0 = no parent, view roots)
+//     bits 22..31  num_children       (10 bits; preorder subtrees following)
+//     bits 32..39  degree - constraint_degree  (8 bits; agents only, the
+//                  objective-port count |Kv|; MUST be 0 for relay nodes)
+//
+// Every header bit is significant -- there is no padding, so a single-bit
+// corruption anywhere in a frame always lands in checksummed content.  The
+// constraint degree rides as the *objective* port count because it is
+// bounded by |Kv| (1 in special form) rather than by the degree, so 8 bits
+// suffice where the raw constraint_degree would need the full degree width.
+// Field widths are enforced at encode time (LOCMM_CHECK) and validated at
+// decode time; the generator families top out at single-digit degrees, so
+// the 10-bit ceilings are two orders of magnitude of headroom.
+//
+// This header is layering-neutral on purpose: graph/view_tree.hpp includes
+// it for the per-node constant without depending on dist/.
+#pragma once
+
+#include <cstdint>
+
+namespace locmm {
+
+inline constexpr std::int64_t kWireNodeBytes = 13;
+inline constexpr std::int64_t kWireHeaderBytes = 5;
+inline constexpr std::int64_t kWireCoeffBytes = 8;
+static_assert(kWireHeaderBytes + kWireCoeffBytes == kWireNodeBytes);
+
+// Message frame envelopes (dist/wire.hpp).  A scalar frame is
+// [kind:1][payload:8][checksum:8]; a view frame is
+// [kind:1][count:4][count * 13 payload][checksum:8].  Silent ports
+// (Message::Kind::kNone) are never transmitted and cost 0 bytes.
+inline constexpr std::int64_t kScalarFrameBytes = 1 + 8 + 8;
+inline constexpr std::int64_t kViewFrameOverheadBytes = 1 + 4 + 8;
+
+constexpr std::int64_t view_frame_bytes(std::int64_t nodes) {
+  return kViewFrameOverheadBytes + nodes * kWireNodeBytes;
+}
+
+// Header field widths and ceilings.
+inline constexpr std::uint32_t kWireTypeBits = 2;
+inline constexpr std::uint32_t kWireDegreeBits = 10;
+inline constexpr std::uint32_t kWirePortBits = 10;
+inline constexpr std::uint32_t kWireChildBits = 10;
+inline constexpr std::uint32_t kWireObjDegBits = 8;
+static_assert(kWireTypeBits + kWireDegreeBits + kWirePortBits +
+                  kWireChildBits + kWireObjDegBits ==
+              8 * kWireHeaderBytes);
+
+inline constexpr std::uint32_t kWireMaxDegree = (1u << kWireDegreeBits) - 1;
+inline constexpr std::uint32_t kWireMaxObjDeg = (1u << kWireObjDegBits) - 1;
+
+// The unpacked header fields, pre-validation (decode hands these back raw;
+// dist/wire.cpp applies the semantic checks).
+struct WireHeader {
+  std::uint32_t type = 0;
+  std::uint32_t degree = 0;
+  std::uint32_t pport1 = 0;   // parent_port + 1; 0 encodes "no parent"
+  std::uint32_t nchild = 0;
+  std::uint32_t objdeg = 0;   // degree - constraint_degree (agents)
+};
+
+constexpr std::uint64_t pack_wire_header(const WireHeader& h) {
+  return static_cast<std::uint64_t>(h.type) |
+         (static_cast<std::uint64_t>(h.degree) << kWireTypeBits) |
+         (static_cast<std::uint64_t>(h.pport1)
+          << (kWireTypeBits + kWireDegreeBits)) |
+         (static_cast<std::uint64_t>(h.nchild)
+          << (kWireTypeBits + kWireDegreeBits + kWirePortBits)) |
+         (static_cast<std::uint64_t>(h.objdeg)
+          << (kWireTypeBits + kWireDegreeBits + kWirePortBits +
+              kWireChildBits));
+}
+
+constexpr WireHeader unpack_wire_header(std::uint64_t bits) {
+  WireHeader h;
+  h.type = static_cast<std::uint32_t>(bits & ((1u << kWireTypeBits) - 1));
+  bits >>= kWireTypeBits;
+  h.degree = static_cast<std::uint32_t>(bits & kWireMaxDegree);
+  bits >>= kWireDegreeBits;
+  h.pport1 = static_cast<std::uint32_t>(bits & ((1u << kWirePortBits) - 1));
+  bits >>= kWirePortBits;
+  h.nchild = static_cast<std::uint32_t>(bits & ((1u << kWireChildBits) - 1));
+  bits >>= kWireChildBits;
+  h.objdeg = static_cast<std::uint32_t>(bits & kWireMaxObjDeg);
+  return h;
+}
+
+// Little-endian byte IO, alignment-free (frames land at arbitrary offsets
+// inside transport buffers).
+inline void store_le(std::uint8_t* out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i)
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint64_t load_le(const std::uint8_t* in, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace locmm

@@ -54,7 +54,9 @@ TEST(Scheduler, CountsRoundsAndMessages) {
   // round including the far ends... every edge counted twice (both
   // directions): 2 * |E| = 2 * 24 = 48.
   EXPECT_EQ(stats.messages, 3 * 48);
-  EXPECT_EQ(stats.bytes, 3 * 48 * 8);
+  // A scalar costs a full wire frame now (kind + payload + checksum), not
+  // just its 8-byte payload.
+  EXPECT_EQ(stats.bytes, 3 * 48 * kScalarFrameBytes);
 }
 
 TEST(Scheduler, HaltsImmediatelyWhenAllDone) {
